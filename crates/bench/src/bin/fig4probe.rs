@@ -1,0 +1,23 @@
+//! Dev probe: one Fig-4 trial per backend, timed.
+fn main() {
+    use seuss_platform::{run_trial, ClusterConfig};
+    use seuss_workload::TrialParams;
+    let m: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let p = TrialParams::throughput(m, 42);
+    for which in ["seuss", "linux"] {
+        let (reg, spec) = p.build();
+        let cfg = if which == "seuss" {
+            ClusterConfig::seuss_paper()
+        } else {
+            ClusterConfig::linux_paper()
+        };
+        let t0 = std::time::Instant::now();
+        let out = run_trial(cfg, reg, &spec);
+        println!("{which} M={m} N={} | tput={:.1}/s steady={:.1}/s errors={} paths(c/w/h/s)={:?} | wall {:.1}s",
+            spec.order.len(), out.analysis.throughput_rps, out.analysis.steady_throughput_rps,
+            out.analysis.errors, out.analysis.paths, t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 7 (bursts every 16 s) — alias for `fig6 -- 16`.
+//!
+//! ```sh
+//! cargo run --release -p seuss-bench --bin fig7
+//! ```
+
+use seuss_bench::run_burst;
+use seuss_workload::BurstParams;
+
+fn main() {
+    let out = run_burst(BurstParams::paper(16), 16 * 1024);
+    println!("== Request burst sent every 16 seconds ==");
+    for (name, side) in [("Linux", &out.linux), ("SEUSS", &out.seuss)] {
+        println!(
+            "{name}: background {} ok / {} err | bursts {} ok / {} err (burst p99 {:.0} ms)",
+            side.background_ok,
+            side.background_err,
+            side.burst_ok,
+            side.burst_err,
+            side.burst_p99_ms
+        );
+    }
+    println!("(use `fig6 -- 16 out.csv` for the full scatter and timeline)");
+}

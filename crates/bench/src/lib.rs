@@ -1,0 +1,38 @@
+//! `seuss-bench` — the experiment harness that regenerates every table
+//! and figure of the paper's evaluation (§7).
+//!
+//! Each experiment is a library function returning a typed result (so
+//! integration tests can assert on the *shape* — orderings, ratios,
+//! crossovers) plus a binary that prints the paper-vs-measured rows:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | snapshot sizes and NOP cold/warm/hot latency & footprint |
+//! | `table2` | AO ablation: cold/warm across No AO / Network / Network+Interp |
+//! | `table3` | cache density and 16-way creation rates, 4 isolation methods |
+//! | `fig4`   | platform throughput vs unique-function set size |
+//! | `fig5`   | end-to-end latency percentiles at three set sizes |
+//! | `fig6`/`fig7`/`fig8` | burst resiliency at 32 s / 16 s / 8 s periods |
+//!
+//! Criterion micro-benchmarks of the underlying mechanisms live in
+//! `benches/` (snapshot capture/deploy, page-fault service, interpreter
+//! compile/exec, and the design-choice ablations from DESIGN.md).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fig4;
+pub mod fig5;
+pub mod figburst;
+pub mod render;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use fig4::{run_fig4, Fig4Point};
+pub use fig5::{run_fig5, Fig5Row};
+pub use figburst::{run_burst, BurstOutcome};
+pub use render::{ratio, Table};
+pub use table1::{run_table1, Table1Results};
+pub use table2::{run_table2, Table2Results};
+pub use table3::{run_table3, IsolationRow, Table3Results};

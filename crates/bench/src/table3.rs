@@ -1,0 +1,220 @@
+//! Table 3: cache density limit and 16-way parallel creation rate for
+//! Node.js runtime environments under four isolation methods.
+//!
+//! Paper: Firecracker microVM 1.3/s & 450; Docker 5.3/s & 3000; Linux
+//! process 45/s & 4200; SEUSS UC 128.6/s & 54 000 — on an 88 GB, 16-CPU
+//! virtual machine.
+//!
+//! Density fills the node sequentially until memory saturates; the
+//! creation-rate test deploys across all 16 cores in parallel (virtual
+//! time) and reports instances per second. The SEUSS rate includes the
+//! shim process's single-TCP-connection bottleneck, exactly as the paper
+//! measures it ("the rate we present here includes the time for the SEUSS
+//! OS shim process to communicate an invocation request over the network
+//! to the VM").
+
+use seuss_baseline::{DockerEngine, FirecrackerEngine, ProcessEngine};
+use seuss_core::{NodeError, SeussConfig, SeussNode, ShimProcess};
+use simcore::SimTime;
+
+/// One isolation method's row.
+#[derive(Clone, Debug)]
+pub struct IsolationRow {
+    /// Method name.
+    pub method: &'static str,
+    /// 16-way parallel creation rate, instances per second.
+    pub creation_rate: f64,
+    /// Maximum idle Node.js environments held in memory.
+    pub cache_density: u64,
+}
+
+/// All four rows.
+#[derive(Clone, Debug)]
+pub struct Table3Results {
+    /// Firecracker microVM (Kata backend).
+    pub microvm: IsolationRow,
+    /// Docker with overlay2.
+    pub docker: IsolationRow,
+    /// Plain Linux processes.
+    pub process: IsolationRow,
+    /// SEUSS unikernel contexts.
+    pub seuss: IsolationRow,
+}
+
+/// Virtual 16-way-parallel fill: every core repeatedly creates instances,
+/// with per-creation latency supplied by `latency(concurrent)`; returns
+/// the aggregate rate once `target` instances exist.
+fn parallel_fill_rate(
+    cores: u64,
+    target: u64,
+    mut create: impl FnMut() -> simcore::SimDuration,
+) -> f64 {
+    // Event-free simulation: cores run independent creation loops; track
+    // each core's next-free time and pop the earliest.
+    let mut next_free: Vec<SimTime> = vec![SimTime::ZERO; cores as usize];
+    let mut created = 0u64;
+    let mut finished_at = SimTime::ZERO;
+    while created < target {
+        // Earliest-available core issues the next creation.
+        let (idx, _) = next_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("nonempty");
+        let lat = create();
+        next_free[idx] += lat;
+        created += 1;
+        finished_at = finished_at.max(next_free[idx]);
+    }
+    created as f64 / finished_at.as_secs_f64()
+}
+
+/// Runs Table 3 on a node of `mem_mib` memory and 16 cores.
+///
+/// `seuss_density_cap` optionally limits how many UCs the SEUSS fill
+/// deploys (the full 88 GB fill takes a while; tests pass a cap and the
+/// harness extrapolates — the per-UC footprint is constant by then).
+pub fn run_table3(mem_mib: u64, seuss_density_cap: Option<u64>) -> Table3Results {
+    // --- Baselines: density from footprint, rate from 16-way fill. ---
+    let mut fc = FirecrackerEngine::paper();
+    let fc_density = fc.density_limit(mem_mib);
+    let fc_rate = parallel_fill_rate(16, fc_density.min(450), || {
+        let lat = fc.latency_with(16);
+        fc.start_create();
+        fc.finish_create();
+        lat
+    });
+
+    let mut dk = DockerEngine::paper(1).with_cache_limit(usize::MAX >> 1);
+    let dk_density = dk.density_limit(mem_mib);
+    let dk_rate = parallel_fill_rate(16, dk_density.min(3_000), || {
+        let lat = dk.latency_with(16);
+        dk.start_create().expect("no cache limit");
+        dk.finish_create(None).ok();
+        lat
+    });
+
+    let mut pr = ProcessEngine::paper();
+    let pr_density = pr.density_limit(mem_mib);
+    let pr_rate = parallel_fill_rate(16, pr_density.min(4_200), || {
+        let lat = pr.latency_with(16);
+        pr.start_create();
+        pr.finish_create();
+        lat
+    });
+
+    // --- SEUSS: real mechanism fill + shim-bottlenecked rate. ---
+    let mut cfg = SeussConfig::paper_node();
+    cfg.mem_mib = mem_mib;
+    cfg.idle_per_fn = usize::MAX >> 1;
+    cfg.idle_total = usize::MAX >> 1;
+    let (mut node, _) = SeussNode::new(cfg).expect("node init");
+
+    // Density: deploy idle UCs from the runtime snapshot until the pool
+    // saturates (every UC is the Node.js driver sitting in listening
+    // state, §7's methodology).
+    let cap = seuss_density_cap.unwrap_or(u64::MAX);
+    let mut deployed = 0u64;
+    let before_fill = node.mem.stats().used_frames;
+    let seuss_density = loop {
+        if deployed >= cap {
+            // Extrapolate from the measured constant per-UC footprint.
+            let marginal = (node.mem.stats().used_frames - before_fill) / deployed;
+            let free = node.mem.stats().free_frames();
+            break deployed + free / marginal.max(1);
+        }
+        match node.deploy_idle_uc(deployed) {
+            Ok(_) => deployed += 1,
+            Err(NodeError::OutOfMemory) => break deployed,
+            Err(e) => panic!("unexpected density-fill error: {e}"),
+        }
+    };
+
+    // Creation rate: 16 cores deploy in parallel, but every creation
+    // command first crosses the shim's single TCP connection.
+    let mut shim = ShimProcess::paper();
+    let mechanism_cost = node.cost.uc_construct_fixed; // per-deploy CPU cost
+    let mut next_free: Vec<SimTime> = vec![SimTime::ZERO; 16];
+    let rate_target = 2_000u64;
+    let mut finished_at = SimTime::ZERO;
+    for _ in 0..rate_target {
+        let (idx, &core_free) = next_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("nonempty");
+        // The command is delivered when the shim channel frees up.
+        let delivered = shim.admit_creation(core_free);
+        let done = delivered + mechanism_cost;
+        next_free[idx] = done;
+        finished_at = finished_at.max(done);
+    }
+    let seuss_rate = rate_target as f64 / finished_at.as_secs_f64();
+
+    Table3Results {
+        microvm: IsolationRow {
+            method: "Firecracker microVM",
+            creation_rate: fc_rate,
+            cache_density: fc_density,
+        },
+        docker: IsolationRow {
+            method: "Docker w/ overlay2 fs",
+            creation_rate: dk_rate,
+            cache_density: dk_density,
+        },
+        process: IsolationRow {
+            method: "Linux process",
+            creation_rate: pr_rate,
+            cache_density: pr_density,
+        },
+        seuss: IsolationRow {
+            method: "SEUSS UC",
+            creation_rate: seuss_rate,
+            cache_density: seuss_density,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_holds() {
+        // Full-size memory, capped SEUSS fill with extrapolation.
+        let r = run_table3(88 * 1024, Some(2_000));
+        // Density ordering and magnitudes.
+        assert!((400..500).contains(&r.microvm.cache_density));
+        assert!((2_800..3_200).contains(&r.docker.cache_density));
+        assert!((4_000..4_400).contains(&r.process.cache_density));
+        assert!(
+            (45_000..62_000).contains(&r.seuss.cache_density),
+            "{}",
+            r.seuss.cache_density
+        );
+        // Rate ordering and magnitudes.
+        assert!(
+            (1.0..1.8).contains(&r.microvm.creation_rate),
+            "{}",
+            r.microvm.creation_rate
+        );
+        assert!(
+            (3.5..7.0).contains(&r.docker.creation_rate),
+            "{}",
+            r.docker.creation_rate
+        );
+        assert!(
+            (40.0..50.0).contains(&r.process.creation_rate),
+            "{}",
+            r.process.creation_rate
+        );
+        assert!(
+            (120.0..135.0).contains(&r.seuss.creation_rate),
+            "{}",
+            r.seuss.creation_rate
+        );
+        // SEUSS beats processes by ≈2.4× (the paper's headline).
+        let speedup = r.seuss.creation_rate / r.process.creation_rate;
+        assert!((2.0..3.2).contains(&speedup), "{speedup}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Node configuration.
+
+use miniscript::RuntimeProfile;
+use seuss_unikernel::{Layout, RuntimeKind, UcProfile};
+use simcore::SimDuration;
+
+/// Which anticipatory optimizations to apply before capturing the base
+/// runtime snapshot (the three columns of Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AoLevel {
+    /// Capture immediately after the driver starts listening.
+    None,
+    /// Send an HTTP request through the UC first (network AO).
+    Network,
+    /// Network AO plus importing and running a dummy function
+    /// (interpreter AO).
+    NetworkAndInterpreter,
+}
+
+/// Configuration of a SEUSS compute node.
+#[derive(Clone, Debug)]
+pub struct SeussConfig {
+    /// Worker cores (the paper's VM has 16 VCPUs).
+    pub cores: u16,
+    /// Physical memory in MiB (the paper's VM has 88 GB).
+    pub mem_mib: u64,
+    /// AO level for the base runtime snapshots.
+    pub ao: AoLevel,
+    /// Runtimes to boot and snapshot (one base snapshot each, §4).
+    /// `layout`/`uc_profile`/`runtime_profile` below configure the
+    /// *primary* (first) runtime; additional runtimes use their
+    /// [`RuntimeKind`] defaults.
+    pub runtimes: Vec<RuntimeKind>,
+    /// UC address-space layout of the primary runtime.
+    pub layout: Layout,
+    /// UC sizing profile of the primary runtime.
+    pub uc_profile: UcProfile,
+    /// Interpreter sizing profile of the primary runtime.
+    pub runtime_profile: RuntimeProfile,
+    /// Maximum idle UCs cached per function.
+    pub idle_per_fn: usize,
+    /// Maximum idle UCs cached in total.
+    pub idle_total: usize,
+    /// OOM-daemon reclaim threshold, in frames (None = 2% of capacity).
+    pub reclaim_threshold_frames: Option<u64>,
+}
+
+impl SeussConfig {
+    /// The paper's evaluation node: 16 cores, 88 GB, full AO, Node.js.
+    pub fn paper_node() -> Self {
+        SeussConfig {
+            cores: 16,
+            mem_mib: 88 * 1024,
+            ao: AoLevel::NetworkAndInterpreter,
+            runtimes: vec![RuntimeKind::NodeJs],
+            layout: Layout::nodejs(),
+            uc_profile: UcProfile::nodejs(),
+            runtime_profile: RuntimeProfile::nodejs(),
+            idle_per_fn: 4,
+            idle_total: 4096,
+            reclaim_threshold_frames: None,
+        }
+    }
+
+    /// A small fast node for unit tests.
+    pub fn test_node() -> Self {
+        SeussConfig {
+            cores: 4,
+            mem_mib: 768,
+            ao: AoLevel::NetworkAndInterpreter,
+            runtimes: vec![RuntimeKind::NodeJs],
+            layout: Layout::nodejs(),
+            uc_profile: UcProfile::tiny(),
+            runtime_profile: RuntimeProfile::tiny(),
+            idle_per_fn: 2,
+            idle_total: 16,
+            reclaim_threshold_frames: None,
+        }
+    }
+
+    /// The paper's boot-to-ready budget for the whole node (boot + AO +
+    /// base capture); informational.
+    pub fn expected_init_floor(&self) -> SimDuration {
+        self.uc_profile.boot_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_node_matches_testbed() {
+        let c = SeussConfig::paper_node();
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.mem_mib, 88 * 1024);
+        assert_eq!(c.ao, AoLevel::NetworkAndInterpreter);
+        assert_eq!(c.runtimes, vec![RuntimeKind::NodeJs]);
+    }
+
+    #[test]
+    fn init_floor_is_the_boot_time() {
+        let c = SeussConfig::paper_node();
+        assert_eq!(c.expected_init_floor(), c.uc_profile.boot_time);
+    }
+
+    #[test]
+    fn test_node_is_small() {
+        let c = SeussConfig::test_node();
+        assert!(c.mem_mib < 1024);
+        assert!(c.uc_profile.boot_data_bytes < (1 << 20));
+    }
+}

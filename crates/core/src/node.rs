@@ -1,0 +1,781 @@
+//! The SEUSS node: invocation paths, caches, and the OOM daemon.
+//!
+//! [`SeussNode::invoke`] is the heart of §4: look up the idle-UC cache
+//! (hot), else the function-snapshot cache (warm), else deploy from the
+//! base runtime snapshot and build the function snapshot on the way
+//! (cold). All mechanism work is real — the returned [`PathCosts`] are
+//! assembled from measured operation counts plus the fixed overheads of
+//! [`crate::cost::CostModel`].
+
+use std::collections::HashMap;
+
+use seuss_mem::PhysMemory;
+use seuss_net::{NetProxy, UcEndpoint};
+use seuss_paging::Mmu;
+use seuss_snapshot::{SnapshotKind, SnapshotStore};
+use seuss_unikernel::{ImageStore, InvocationOutcome, RuntimeKind, UcContext, UcError, UcImageId};
+use simcore::SimDuration;
+
+use crate::caches::{FnImageCache, IdleUcCache};
+use crate::config::{AoLevel, SeussConfig};
+use crate::cost::CostModel;
+
+/// Function identity (1:1 with a client account's unique function).
+pub type FnId = u64;
+
+/// Which deployment path served an invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathKind {
+    /// No cached state: runtime snapshot + import + capture.
+    Cold,
+    /// Function snapshot cached: deploy + run.
+    Warm,
+    /// Idle UC cached: run in place.
+    Hot,
+}
+
+/// Per-phase virtual-time costs of one invocation segment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PathCosts {
+    /// UC construction (shallow clone, kmeta, resume writes, fixed part).
+    pub deploy: SimDuration,
+    /// Connection setup into the UC (plus any first-use warming).
+    pub connect: SimDuration,
+    /// Code import + compile.
+    pub import: SimDuration,
+    /// Function-snapshot capture.
+    pub capture: SimDuration,
+    /// Argument import + driver dispatch + function execution.
+    pub exec: SimDuration,
+    /// Result return.
+    pub respond: SimDuration,
+}
+
+impl PathCosts {
+    /// Total CPU time of the segment.
+    pub fn total(&self) -> SimDuration {
+        self.deploy + self.connect + self.import + self.capture + self.exec + self.respond
+    }
+}
+
+/// Handle for an invocation blocked on external IO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IoToken(u64);
+
+/// Result of starting or resuming an invocation.
+#[derive(Debug)]
+pub enum Invocation {
+    /// Finished; result and the CPU cost of this segment.
+    Completed {
+        /// Deployment path taken (set on the first segment).
+        path: PathKind,
+        /// Rendered function result.
+        result: String,
+        /// Per-phase CPU costs of this segment.
+        costs: PathCosts,
+        /// Pages this invocation copied (COW breaks + demand-zero) — its
+        /// marginal memory footprint, the paper's "pages copied" column.
+        private_pages: u64,
+    },
+    /// Blocked on an external call; resume with
+    /// [`SeussNode::resume_invocation`].
+    Blocked {
+        /// Deployment path taken.
+        path: PathKind,
+        /// Resume handle.
+        token: IoToken,
+        /// Requested URL.
+        url: String,
+        /// CPU cost of the segment up to the block.
+        costs: PathCosts,
+    },
+}
+
+/// Node-level failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeError {
+    /// Physical memory exhausted and nothing reclaimable.
+    OutOfMemory,
+    /// The function itself failed (compile or runtime error).
+    Function(String),
+    /// Unknown IO token.
+    UnknownToken,
+    /// Node not initialized with a runtime snapshot.
+    NotInitialized,
+}
+
+impl core::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NodeError::OutOfMemory => write!(f, "node out of memory"),
+            NodeError::Function(m) => write!(f, "function error: {m}"),
+            NodeError::UnknownToken => write!(f, "unknown IO token"),
+            NodeError::NotInitialized => write!(f, "node missing runtime snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// Aggregate node statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Cold invocations served.
+    pub cold: u64,
+    /// Warm invocations served.
+    pub warm: u64,
+    /// Hot invocations served.
+    pub hot: u64,
+    /// Invocations that failed.
+    pub errors: u64,
+    /// Idle UCs reclaimed by the OOM daemon.
+    pub oom_reclaims: u64,
+}
+
+/// A SEUSS OS compute node.
+pub struct SeussNode {
+    /// The frame pool (public for experiment harnesses).
+    pub mem: PhysMemory,
+    /// The software MMU.
+    pub mmu: Mmu,
+    /// Mechanical snapshots.
+    pub snaps: SnapshotStore,
+    /// Deployable UC images.
+    pub images: ImageStore,
+    /// The function-snapshot cache.
+    pub fn_cache: FnImageCache,
+    /// The idle-UC cache.
+    pub idle: IdleUcCache,
+    /// Fixed-cost model.
+    pub cost: CostModel,
+    /// Statistics.
+    pub stats: NodeStats,
+    /// The per-core network proxy: every live UC holds a unique port
+    /// mapping (all UCs share one IP/MAC, §6 "Networking").
+    pub proxy: NetProxy,
+    config: SeussConfig,
+    runtime_images: HashMap<RuntimeKind, UcImageId>,
+    primary_runtime: RuntimeKind,
+    pending: HashMap<u64, (FnId, PathKind, UcContext)>,
+    next_token: u64,
+}
+
+/// Boots one runtime's base UC, applies the AO level, and captures the
+/// base snapshot. Returns the image id and total cost.
+#[allow(clippy::too_many_arguments)]
+fn init_runtime(
+    mmu: &mut Mmu,
+    mem: &mut PhysMemory,
+    snaps: &mut SnapshotStore,
+    images: &mut ImageStore,
+    kind: RuntimeKind,
+    layout: seuss_unikernel::Layout,
+    uc_profile: seuss_unikernel::UcProfile,
+    runtime_profile: miniscript::RuntimeProfile,
+    ao: AoLevel,
+) -> Result<(UcImageId, SimDuration), NodeError> {
+    let (mut base_uc, mut init_cost) =
+        UcContext::boot(mmu, mem, layout, uc_profile, runtime_profile).map_err(map_uc_err)?;
+
+    // Anticipatory optimizations (§3, §7) run before the base capture.
+    match ao {
+        AoLevel::None => {}
+        AoLevel::Network => {
+            init_cost += base_uc.warm_network_request(mmu, mem).map_err(map_uc_err)?;
+        }
+        AoLevel::NetworkAndInterpreter => {
+            init_cost += base_uc.warm_network_request(mmu, mem).map_err(map_uc_err)?;
+            // Dummy function: interpreted and run pre-capture.
+            init_cost += base_uc.connect(mmu, mem).map_err(map_uc_err)?;
+            init_cost += base_uc
+                .import_function(mmu, mem, "function main(args) { return 'warm'; }")
+                .map_err(map_uc_err)?;
+            let (_, run_cost) = base_uc.invoke(mmu, mem, &[]).map_err(map_uc_err)?;
+            init_cost += run_cost;
+            // The dummy leaves the UC in Done; reset to Listening so the
+            // captured image is a clean runtime snapshot.
+            base_uc.reset_to_listening();
+        }
+    }
+
+    let (image, capture_cost) = images
+        .capture(
+            mmu,
+            mem,
+            snaps,
+            &mut base_uc,
+            SnapshotKind::Runtime,
+            format!("{}-runtime", kind.name()),
+            None,
+        )
+        .map_err(map_uc_err)?;
+    init_cost += capture_cost;
+    base_uc.destroy(mmu, mem);
+    Ok((image, init_cost))
+}
+
+impl SeussNode {
+    /// Builds and initializes a node: boots the base UC, applies the
+    /// configured AO level, and captures the base runtime snapshot.
+    /// Returns the node and the total initialization cost.
+    pub fn new(config: SeussConfig) -> Result<(SeussNode, SimDuration), NodeError> {
+        let mut mem = PhysMemory::with_mib(config.mem_mib);
+        if let Some(t) = config.reclaim_threshold_frames {
+            mem.set_reclaim_threshold_frames(t);
+        }
+        let mut mmu = Mmu::new();
+        let mut snaps = SnapshotStore::new();
+        let mut images = ImageStore::new();
+
+        // Boot and snapshot every configured runtime ("only one per
+        // supported interpreter", §4). The first is the primary and uses
+        // the config's explicit profiles; the rest use their defaults.
+        let mut runtimes = config.runtimes.clone();
+        if runtimes.is_empty() {
+            runtimes.push(RuntimeKind::NodeJs);
+        }
+        let primary_runtime = runtimes[0];
+        let mut runtime_images = HashMap::new();
+        let mut init_cost = SimDuration::ZERO;
+        for (i, kind) in runtimes.iter().enumerate() {
+            let (layout, ucp, rp) = if i == 0 {
+                (config.layout, config.uc_profile, config.runtime_profile)
+            } else {
+                (kind.layout(), kind.uc_profile(), kind.runtime_profile())
+            };
+            let (image, cost) = init_runtime(
+                &mut mmu,
+                &mut mem,
+                &mut snaps,
+                &mut images,
+                *kind,
+                layout,
+                ucp,
+                rp,
+                config.ao,
+            )?;
+            runtime_images.insert(*kind, image);
+            init_cost += cost;
+        }
+
+        let node = SeussNode {
+            mem,
+            mmu,
+            snaps,
+            images,
+            fn_cache: FnImageCache::new(usize::MAX >> 1),
+            idle: IdleUcCache::new(config.idle_per_fn, config.idle_total),
+            cost: CostModel::paper(),
+            stats: NodeStats::default(),
+            proxy: NetProxy::new(),
+            config,
+            runtime_images,
+            primary_runtime,
+            pending: HashMap::new(),
+            next_token: 0,
+        };
+        Ok((node, init_cost))
+    }
+
+    /// The primary runtime's base image id.
+    pub fn runtime_image(&self) -> Option<UcImageId> {
+        self.runtime_images.get(&self.primary_runtime).copied()
+    }
+
+    /// The base image for a specific runtime, if configured.
+    pub fn runtime_image_for(&self, kind: RuntimeKind) -> Option<UcImageId> {
+        self.runtime_images.get(&kind).copied()
+    }
+
+    /// Runtimes this node serves.
+    pub fn runtimes(&self) -> Vec<RuntimeKind> {
+        let mut v: Vec<RuntimeKind> = self.runtime_images.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Node configuration.
+    pub fn config(&self) -> &SeussConfig {
+        &self.config
+    }
+
+    /// Memory in use, in MiB.
+    pub fn used_mib(&self) -> f64 {
+        self.mem.stats().used_mib()
+    }
+
+    /// Runs the OOM daemon: reclaim idle UCs while free memory is below
+    /// the threshold; once no idle UC remains, evict LRU function
+    /// snapshots (the §6 policy permits deleting function-specific
+    /// snapshots with no active UCs). Returns reclaim actions taken.
+    pub fn run_oom_daemon(&mut self) -> u64 {
+        let mut n = 0;
+        while self.mem.below_reclaim_threshold() {
+            if let Some(uc) = self.idle.pop_lru() {
+                self.destroy_uc(uc);
+                n += 1;
+                continue;
+            }
+            if self.fn_cache.evict_lru(
+                &mut self.mmu,
+                &mut self.mem,
+                &mut self.snaps,
+                &mut self.images,
+            ) {
+                n += 1;
+                continue;
+            }
+            break;
+        }
+        self.stats.oom_reclaims += n;
+        n
+    }
+
+    /// Serves one invocation of function `f` (source `src`, arguments
+    /// `args`) on the primary runtime. Picks hot > warm > cold.
+    pub fn invoke(
+        &mut self,
+        f: FnId,
+        src: &str,
+        args: &[(&str, &str)],
+    ) -> Result<Invocation, NodeError> {
+        self.invoke_on(f, self.primary_runtime, src, args)
+    }
+
+    /// Serves one invocation on an explicit runtime (functions are bound
+    /// to the interpreter their account registered them for).
+    pub fn invoke_on(
+        &mut self,
+        f: FnId,
+        runtime: RuntimeKind,
+        src: &str,
+        args: &[(&str, &str)],
+    ) -> Result<Invocation, NodeError> {
+        let ops_before = self.mmu.stats;
+        let mut costs = PathCosts::default();
+
+        // Hot path: idle UC ready for this function.
+        if let Some(mut uc) = self.idle.take(f) {
+            let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
+            return self.conclude(f, PathKind::Hot, uc, exec, costs, ops_before);
+        }
+
+        // Warm path: deploy from the cached function image.
+        if let Some(img) = self.fn_cache.lookup(f) {
+            let mut uc = self.deploy_uc(img, &mut costs)?;
+            costs.connect = uc
+                .connect(&mut self.mmu, &mut self.mem)
+                .map_err(map_uc_err)?;
+            let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
+            return self.conclude(f, PathKind::Warm, uc, exec, costs, ops_before);
+        }
+
+        // Cold path: runtime snapshot + import + capture.
+        let base = self
+            .runtime_images
+            .get(&runtime)
+            .copied()
+            .ok_or(NodeError::NotInitialized)?;
+        let mut uc = self.deploy_uc(base, &mut costs)?;
+        costs.connect = uc
+            .connect(&mut self.mmu, &mut self.mem)
+            .map_err(map_uc_err)?;
+        let import_cost = match uc.import_function(&mut self.mmu, &mut self.mem, src) {
+            Ok(c) => c,
+            Err(e) => {
+                self.destroy_uc(uc);
+                self.stats.errors += 1;
+                return Err(map_uc_err(e));
+            }
+        };
+        costs.import = import_cost + self.cost.import_per_byte * src.len() as u64;
+        let (fn_img, capture_cost) = self
+            .images
+            .capture(
+                &mut self.mmu,
+                &mut self.mem,
+                &mut self.snaps,
+                &mut uc,
+                SnapshotKind::Function,
+                format!("fn-{f}"),
+                Some(base),
+            )
+            .map_err(map_uc_err)?;
+        costs.capture = capture_cost;
+        self.fn_cache.insert(
+            &mut self.mmu,
+            &mut self.mem,
+            &mut self.snaps,
+            &mut self.images,
+            f,
+            fn_img,
+        );
+        let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
+        self.conclude(f, PathKind::Cold, uc, exec, costs, ops_before)
+    }
+
+    fn deploy_uc(&mut self, img: UcImageId, costs: &mut PathCosts) -> Result<UcContext, NodeError> {
+        // Memory pressure is handled before construction, like the §6
+        // daemon watching the free-frame watermark.
+        self.run_oom_daemon();
+        let (uc, mech_cost) = self
+            .images
+            .deploy(&mut self.mmu, &mut self.mem, &mut self.snaps, img)
+            .map_err(map_uc_err)?;
+        // Every UC gets a unique proxy port (identical IP/MAC otherwise).
+        let _ = self.proxy.register(UcEndpoint {
+            core: (uc.uc_id % self.config.cores as u32) as u16,
+            uc: uc.uc_id,
+        });
+        costs.deploy = mech_cost + self.cost.uc_construct_fixed;
+        Ok(uc)
+    }
+
+    /// Destroys a UC, dropping its proxy mapping first.
+    pub fn destroy_uc(&mut self, uc: UcContext) {
+        self.proxy.unregister(uc.uc_id);
+        self.images
+            .destroy_uc(&mut self.mmu, &mut self.mem, &mut self.snaps, uc);
+    }
+
+    fn run_segment_fresh(
+        &mut self,
+        uc: &mut UcContext,
+        args: &[(&str, &str)],
+        costs: &mut PathCosts,
+    ) -> Result<InvocationOutcome, NodeError> {
+        let (outcome, exec_cost) = uc
+            .invoke(&mut self.mmu, &mut self.mem, args)
+            .map_err(map_uc_err)?;
+        costs.exec = self.cost.arg_import + self.cost.dispatch_fixed + exec_cost;
+        Ok(outcome)
+    }
+
+    fn conclude(
+        &mut self,
+        f: FnId,
+        path: PathKind,
+        uc: UcContext,
+        outcome: InvocationOutcome,
+        mut costs: PathCosts,
+        ops_before: seuss_paging::OpStats,
+    ) -> Result<Invocation, NodeError> {
+        match outcome {
+            InvocationOutcome::Completed { result } => {
+                costs.respond = self.cost.respond;
+                match path {
+                    PathKind::Cold => self.stats.cold += 1,
+                    PathKind::Warm => self.stats.warm += 1,
+                    PathKind::Hot => self.stats.hot += 1,
+                }
+                let private_pages = self.mmu.stats.since(&ops_before).pages_copied();
+                // Cache the UC for future hot starts; destroy any displaced.
+                if let Some(victim) = self.idle.put(f, uc) {
+                    self.destroy_uc(victim);
+                }
+                Ok(Invocation::Completed {
+                    path,
+                    result,
+                    costs,
+                    private_pages,
+                })
+            }
+            InvocationOutcome::BlockedOnIo { url } => {
+                let token = IoToken(self.next_token);
+                self.next_token += 1;
+                self.pending.insert(token.0, (f, path, uc));
+                Ok(Invocation::Blocked {
+                    path,
+                    token,
+                    url,
+                    costs,
+                })
+            }
+        }
+    }
+
+    /// Delivers an external-IO response to a blocked invocation.
+    pub fn resume_invocation(
+        &mut self,
+        token: IoToken,
+        response: &str,
+    ) -> Result<Invocation, NodeError> {
+        let (f, path, mut uc) = self
+            .pending
+            .remove(&token.0)
+            .ok_or(NodeError::UnknownToken)?;
+        let ops_before = self.mmu.stats;
+        let mut costs = PathCosts::default();
+        let (outcome, exec_cost) = uc
+            .resume_io(&mut self.mmu, &mut self.mem, response)
+            .map_err(map_uc_err)?;
+        costs.exec = exec_cost;
+        self.conclude(f, path, uc, outcome, costs, ops_before)
+    }
+
+    /// Deploys one idle UC from the base runtime image into the idle pool
+    /// of function `f` (Table 3's density/creation-rate harness).
+    pub fn deploy_idle_uc(&mut self, f: FnId) -> Result<SimDuration, NodeError> {
+        let base = self.runtime_image().ok_or(NodeError::NotInitialized)?;
+        let (uc, mech) = self
+            .images
+            .deploy(&mut self.mmu, &mut self.mem, &mut self.snaps, base)
+            .map_err(map_uc_err)?;
+        let _ = self.proxy.register(UcEndpoint {
+            core: (uc.uc_id % self.config.cores as u32) as u16,
+            uc: uc.uc_id,
+        });
+        if let Some(victim) = self.idle.put(f, uc) {
+            self.destroy_uc(victim);
+        }
+        Ok(mech + self.cost.uc_construct_fixed)
+    }
+
+    /// Number of invocations currently blocked on external IO.
+    pub fn blocked_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+fn map_uc_err(e: UcError) -> NodeError {
+    match e {
+        UcError::Mem(_) | UcError::Fault(seuss_paging::PageFault::OutOfMemory(_)) => {
+            NodeError::OutOfMemory
+        }
+        other => NodeError::Function(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOP: &str = "function main(args) { return 0; }";
+
+    fn node() -> SeussNode {
+        SeussNode::new(SeussConfig::test_node()).unwrap().0
+    }
+
+    fn expect_completed(inv: Invocation) -> (PathKind, String, PathCosts) {
+        match inv {
+            Invocation::Completed {
+                path,
+                result,
+                costs,
+                ..
+            } => (path, result, costs),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_then_hot() {
+        let mut n = node();
+        let (p1, r1, c1) = expect_completed(n.invoke(1, NOP, &[]).unwrap());
+        assert_eq!(p1, PathKind::Cold);
+        assert_eq!(r1, "0");
+        assert!(c1.import > SimDuration::ZERO);
+        assert!(c1.capture > SimDuration::ZERO);
+
+        // Same function again: the idle UC serves it hot.
+        let (p2, _, c2) = expect_completed(n.invoke(1, NOP, &[]).unwrap());
+        assert_eq!(p2, PathKind::Hot);
+        assert_eq!(c2.deploy, SimDuration::ZERO);
+        assert_eq!(c2.import, SimDuration::ZERO);
+
+        // Drain the idle cache; the snapshot now serves it warm.
+        while n
+            .idle
+            .take(1)
+            .map(|uc| {
+                n.images
+                    .destroy_uc(&mut n.mmu, &mut n.mem, &mut n.snaps, uc)
+            })
+            .is_some()
+        {}
+        let (p3, _, c3) = expect_completed(n.invoke(1, NOP, &[]).unwrap());
+        assert_eq!(p3, PathKind::Warm);
+        assert!(c3.deploy > SimDuration::ZERO);
+        assert_eq!(c3.import, SimDuration::ZERO, "no recompile on warm path");
+        assert_eq!(n.stats.cold, 1);
+        assert_eq!(n.stats.hot, 1);
+        assert_eq!(n.stats.warm, 1);
+    }
+
+    #[test]
+    fn path_cost_ordering() {
+        let mut n = node();
+        let (_, _, cold) = expect_completed(n.invoke(7, NOP, &[]).unwrap());
+        let (_, _, hot) = expect_completed(n.invoke(7, NOP, &[]).unwrap());
+        while n
+            .idle
+            .take(7)
+            .map(|uc| {
+                n.images
+                    .destroy_uc(&mut n.mmu, &mut n.mem, &mut n.snaps, uc)
+            })
+            .is_some()
+        {}
+        let (_, _, warm) = expect_completed(n.invoke(7, NOP, &[]).unwrap());
+        assert!(cold.total() > warm.total());
+        assert!(warm.total() > hot.total());
+    }
+
+    #[test]
+    fn distinct_functions_get_distinct_snapshots() {
+        let mut n = node();
+        n.invoke(1, "function main(a) { return 'one'; }", &[])
+            .unwrap();
+        n.invoke(2, "function main(a) { return 'two'; }", &[])
+            .unwrap();
+        assert_eq!(n.fn_cache.len(), 2);
+        let (_, r, _) = expect_completed(n.invoke(1, "", &[]).unwrap());
+        assert_eq!(r, "one", "hot path runs the right function");
+        let (_, r, _) = expect_completed(n.invoke(2, "", &[]).unwrap());
+        assert_eq!(r, "two");
+    }
+
+    #[test]
+    fn io_bound_invocation_blocks_and_resumes() {
+        let mut n = node();
+        let src = "function main(a) { let r = http_get('http://ext'); return r + '|done'; }";
+        let inv = n.invoke(9, src, &[]).unwrap();
+        let token = match inv {
+            Invocation::Blocked { token, ref url, .. } => {
+                assert_eq!(url, "http://ext");
+                token
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(n.blocked_count(), 1);
+        let (_, r, _) = expect_completed(n.resume_invocation(token, "OK").unwrap());
+        assert_eq!(r, "OK|done");
+        assert_eq!(n.blocked_count(), 0);
+    }
+
+    #[test]
+    fn resume_with_bad_token_fails() {
+        let mut n = node();
+        assert_eq!(
+            n.resume_invocation(IoToken(77), "x").err(),
+            Some(NodeError::UnknownToken)
+        );
+    }
+
+    #[test]
+    fn compile_error_reported_and_uc_cleaned() {
+        let mut n = node();
+        let before = n.mem.stats().used_frames;
+        let err = n.invoke(5, "function main( {", &[]).unwrap_err();
+        assert!(matches!(err, NodeError::Function(_)));
+        assert_eq!(n.stats.errors, 1);
+        // The failed UC was destroyed (allow for the fn-cache being empty).
+        assert!(n.mem.stats().used_frames <= before + 8);
+    }
+
+    #[test]
+    fn arguments_flow_through() {
+        let mut n = node();
+        let src = "function main(args) { return args.name + '-' + args.op; }";
+        let (_, r, _) = expect_completed(
+            n.invoke(3, src, &[("name", "seuss"), ("op", "go")])
+                .unwrap(),
+        );
+        assert_eq!(r, "seuss-go");
+    }
+
+    #[test]
+    fn oom_daemon_reclaims_idle_ucs() {
+        let mut cfg = SeussConfig::test_node();
+        cfg.mem_mib = 192;
+        cfg.idle_per_fn = 8;
+        cfg.idle_total = 10_000;
+        let (mut n, _) = SeussNode::new(cfg).unwrap();
+        // Force pressure: tiny reclaim threshold relative to remaining room.
+        let free = n.mem.stats().free_frames();
+        n.mem.set_reclaim_threshold_frames(free - 600);
+        // Build up idle UCs until the daemon starts reclaiming.
+        for i in 0..64 {
+            let _ = n.deploy_idle_uc(i);
+        }
+        n.run_oom_daemon();
+        assert!(n.stats.oom_reclaims > 0 || n.idle.len() < 64);
+    }
+
+    #[test]
+    fn deploy_idle_uc_populates_hot_cache() {
+        let mut n = node();
+        n.invoke(4, NOP, &[]).unwrap(); // builds fn snapshot + one idle UC
+        assert!(n.idle.count_for(4) >= 1);
+        let (p, _, _) = expect_completed(n.invoke(4, "", &[]).unwrap());
+        assert_eq!(p, PathKind::Hot);
+    }
+
+    #[test]
+    fn ao_levels_change_cold_cost() {
+        let mk = |ao| {
+            let mut cfg = SeussConfig::test_node();
+            cfg.ao = ao;
+            let (mut n, _) = SeussNode::new(cfg).unwrap();
+            let (_, _, c) = expect_completed(n.invoke(1, NOP, &[]).unwrap());
+            c.total()
+        };
+        let no_ao = mk(AoLevel::None);
+        let net = mk(AoLevel::Network);
+        let full = mk(AoLevel::NetworkAndInterpreter);
+        assert!(
+            no_ao > net,
+            "network AO must cut cold start ({no_ao:?} vs {net:?})"
+        );
+        assert!(
+            net > full,
+            "interpreter AO must cut further ({net:?} vs {full:?})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proxy_tests {
+    use super::*;
+    use crate::config::SeussConfig;
+
+    const NOP: &str = "function main(args) { return 0; }";
+
+    #[test]
+    fn live_ucs_hold_unique_proxy_ports() {
+        let (mut n, _) = SeussNode::new(SeussConfig::test_node()).unwrap();
+        for f in 0..6 {
+            n.invoke(f, NOP, &[]).unwrap();
+        }
+        // Every idle UC holds a mapping.
+        assert_eq!(n.proxy.active(), n.idle.len());
+    }
+
+    #[test]
+    fn destroying_ucs_releases_ports() {
+        let (mut n, _) = SeussNode::new(SeussConfig::test_node()).unwrap();
+        for f in 0..4 {
+            n.invoke(f, NOP, &[]).unwrap();
+        }
+        let before = n.proxy.active();
+        assert!(before >= 4);
+        while let Some(uc) = n.idle.pop_lru() {
+            n.destroy_uc(uc);
+        }
+        assert_eq!(n.proxy.active(), 0);
+    }
+
+    #[test]
+    fn blocked_ucs_keep_their_mapping() {
+        let (mut n, _) = SeussNode::new(SeussConfig::test_node()).unwrap();
+        let src = "function main(a) { let r = http_get('http://x'); return r; }";
+        let token = match n.invoke(1, src, &[]).unwrap() {
+            Invocation::Blocked { token, .. } => token,
+            other => panic!("{other:?}"),
+        };
+        // The blocked UC's port stays mapped (external reply must route back).
+        assert!(n.proxy.active() >= 1);
+        n.resume_invocation(token, "ok").unwrap();
+        assert_eq!(n.proxy.active(), n.idle.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests on the interpreter:
+//!
+//! 1. generated arithmetic expression trees evaluate to the same value a
+//!    host-side reference evaluator computes;
+//! 2. the lexer/parser never panic on arbitrary input;
+//! 3. fuel-sliced execution produces the same result as one-shot
+//!    execution (resumability is semantics-preserving).
+
+use proptest::prelude::*;
+
+use miniscript::{HostHeap, Interpreter, RuntimeProfile, Value, VmExit};
+
+/// Host-side reference AST mirroring the generated expression.
+#[derive(Clone, Debug)]
+enum E {
+    Num(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+}
+
+impl E {
+    fn eval(&self) -> f64 {
+        match self {
+            E::Num(n) => *n as f64,
+            E::Add(a, b) => a.eval() + b.eval(),
+            E::Sub(a, b) => a.eval() - b.eval(),
+            E::Mul(a, b) => a.eval() * b.eval(),
+        }
+    }
+
+    fn src(&self) -> String {
+        match self {
+            E::Num(n) => {
+                if *n < 0 {
+                    format!("(0 - {})", -(*n as i64))
+                } else {
+                    n.to_string()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", a.src(), b.src()),
+            E::Sub(a, b) => format!("({} - {})", a.src(), b.src()),
+            E::Mul(a, b) => format!("({} * {})", a.src(), b.src()),
+        }
+    }
+}
+
+fn expr() -> impl Strategy<Value = E> {
+    let leaf = (-100i32..100).prop_map(E::Num);
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn run_source(src: &str) -> Value {
+    let mut backend = HostHeap::with_capacity(8 << 20);
+    let mut interp = Interpreter::new(RuntimeProfile::tiny());
+    let prog = interp.load_source(&mut backend, src).expect("compile");
+    match interp.run_main(&mut backend, prog, u64::MAX).expect("run") {
+        VmExit::Done(v) => v,
+        other => panic!("unexpected exit {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arithmetic_matches_reference(e in expr()) {
+        let src = format!("{};", e.src());
+        match run_source(&src) {
+            Value::Num(n) => prop_assert_eq!(n, e.eval()),
+            other => prop_assert!(false, "non-numeric result {:?}", other),
+        }
+    }
+
+    #[test]
+    fn lexer_and_parser_never_panic(src in "\\PC{0,120}") {
+        // Arbitrary junk may fail to compile, but must fail cleanly.
+        let _ = miniscript::compile(&src);
+    }
+
+    #[test]
+    fn structured_garbage_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "let", "function", "return", "if", "else", "while", "(", ")",
+                "{", "}", "+", "-", "*", "/", "==", "x", "y", "1", "2.5",
+                "'s'", ";", ",", "[", "]", ".", "=",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = miniscript::compile(&src);
+    }
+
+    #[test]
+    fn fuel_slicing_preserves_semantics(n in 1u32..60, fuel in 7u64..200) {
+        let src = format!(
+            "let s = 0; let i = 0; while (i < {n}) {{ s = s + i * i; i = i + 1; }} s;"
+        );
+        let oneshot = run_source(&src);
+
+        let mut backend = HostHeap::with_capacity(8 << 20);
+        let mut interp = Interpreter::new(RuntimeProfile::tiny());
+        let prog = interp.load_source(&mut backend, &src).expect("compile");
+        let mut exit = interp.run_main(&mut backend, prog, fuel).expect("run");
+        let mut rounds = 0u32;
+        while exit == VmExit::OutOfFuel {
+            exit = interp.resume(&mut backend, Value::Null, fuel).expect("resume");
+            rounds += 1;
+            prop_assert!(rounds < 100_000, "diverged");
+        }
+        match exit {
+            VmExit::Done(v) => prop_assert_eq!(v, oneshot),
+            other => prop_assert!(false, "unexpected exit {:?}", other),
+        }
+    }
+}

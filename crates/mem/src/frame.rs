@@ -1,0 +1,66 @@
+//! Physical frame identity and metadata.
+
+use core::fmt;
+
+use crate::addr::{PhysAddr, PAGE_SHIFT};
+use crate::content::PageContent;
+
+/// Identifier of a 4 KiB physical frame in the simulated pool.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub(crate) u32);
+
+impl FrameId {
+    /// The physical address of the start of this frame.
+    pub fn base_addr(self) -> PhysAddr {
+        PhysAddr::new((self.0 as u64) << PAGE_SHIFT)
+    }
+
+    /// Raw index of this frame in the pool.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a frame id from a raw index (used by packed page-table
+    /// entries, which store the index in PTE bits 12..52).
+    pub fn from_index(index: u32) -> FrameId {
+        FrameId(index)
+    }
+}
+
+impl fmt::Debug for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F#{}", self.0)
+    }
+}
+
+/// What a frame is being used for; drives accounting breakdowns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FrameKind {
+    /// A page-table page (any level).
+    PageTable,
+    /// A data page mapped into some address space.
+    Data,
+    /// Kernel metadata (UC descriptors, packet buffers, stacks).
+    KernelMeta,
+}
+
+/// Per-frame bookkeeping.
+#[derive(Debug)]
+pub(crate) struct FrameMeta {
+    /// Number of owners (page-table entries, snapshots) referencing the frame.
+    pub refcount: u32,
+    /// Current usage class.
+    pub kind: FrameKind,
+    /// Lazily and sparsely materialized byte content.
+    pub content: PageContent,
+}
+
+impl FrameMeta {
+    pub(crate) fn new(kind: FrameKind) -> Self {
+        FrameMeta {
+            refcount: 1,
+            kind,
+            content: PageContent::Zero,
+        }
+    }
+}

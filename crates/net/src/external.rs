@@ -1,0 +1,97 @@
+//! The external HTTP endpoint used by IO-bound functions.
+//!
+//! "Each IO-bound function makes an external network call to a remote
+//! HTTP server, which blocks for 250 ms before sending an OK reply" (§7).
+//! The server model returns, for each request, the virtual time at which
+//! the reply arrives; the caller schedules the wake-up event.
+
+use simcore::{SimDuration, SimTime};
+
+use crate::tcp::TcpCostModel;
+
+/// A remote HTTP server with a fixed service (block) time.
+pub struct ExternalServer {
+    /// Time the server holds a request before replying.
+    pub block_time: SimDuration,
+    /// Link model between the compute node and the server.
+    pub link: TcpCostModel,
+    /// Requests served.
+    pub served: u64,
+    /// Maximum simultaneous in-flight requests observed.
+    pub peak_in_flight: u64,
+    in_flight: u64,
+}
+
+impl ExternalServer {
+    /// The paper's burst-experiment endpoint: 250 ms block over a 10 GbE link.
+    pub fn paper_default() -> Self {
+        ExternalServer {
+            block_time: SimDuration::from_millis(250),
+            link: TcpCostModel::datacenter(),
+            served: 0,
+            peak_in_flight: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// A server with a custom block time.
+    pub fn with_block_time(block_time: SimDuration) -> Self {
+        ExternalServer {
+            block_time,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Accepts a request sent at `now`; returns when the reply lands back
+    /// at the caller. The caller must later call
+    /// [`ExternalServer::complete`] at that time.
+    pub fn request(&mut self, now: SimTime, req_bytes: u64, resp_bytes: u64) -> SimTime {
+        self.in_flight += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
+        now + self.link.handshake()
+            + self.link.transfer(req_bytes)
+            + self.block_time
+            + self.link.transfer(resp_bytes)
+    }
+
+    /// Records a reply delivery.
+    pub fn complete(&mut self) {
+        debug_assert!(self.in_flight > 0, "complete without request");
+        self.in_flight -= 1;
+        self.served += 1;
+    }
+
+    /// Requests currently outstanding.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_lands_after_block_time() {
+        let mut s = ExternalServer::paper_default();
+        let t0 = SimTime::from_secs(1);
+        let done = s.request(t0, 200, 100);
+        let elapsed = done.since(t0);
+        assert!(elapsed >= SimDuration::from_millis(250));
+        assert!(elapsed < SimDuration::from_millis(252), "{elapsed:?}");
+    }
+
+    #[test]
+    fn in_flight_tracking() {
+        let mut s = ExternalServer::with_block_time(SimDuration::from_millis(10));
+        let t = SimTime::ZERO;
+        s.request(t, 1, 1);
+        s.request(t, 1, 1);
+        assert_eq!(s.in_flight(), 2);
+        assert_eq!(s.peak_in_flight, 2);
+        s.complete();
+        s.complete();
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.served, 2);
+    }
+}

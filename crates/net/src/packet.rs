@@ -1,0 +1,103 @@
+//! Packet representation for the simulated networks.
+
+use bytes::Bytes;
+
+/// Packet classification (what the proxy and bridge need to know).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// TCP SYN (connection open).
+    TcpSyn,
+    /// TCP SYN+ACK.
+    TcpSynAck,
+    /// TCP payload segment.
+    TcpData,
+    /// TCP FIN (close).
+    TcpFin,
+    /// Broadcast (ARP/DHCP) — the bridge's poison.
+    Broadcast,
+    /// UDP datagram — not port-mapped by the prototype (§6).
+    Udp,
+    /// IPv6 — likewise unsupported by the prototype's proxy.
+    Ipv6,
+}
+
+/// A simulated network packet.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Classification.
+    pub kind: PacketKind,
+    /// Source TCP port (0 for broadcast).
+    pub src_port: u16,
+    /// Destination TCP port (0 for broadcast).
+    pub dst_port: u16,
+    /// Payload bytes (may be empty for control packets).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// A SYN to `dst_port` from `src_port`.
+    pub fn syn(src_port: u16, dst_port: u16) -> Self {
+        Packet {
+            kind: PacketKind::TcpSyn,
+            src_port,
+            dst_port,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// A data segment.
+    pub fn data(src_port: u16, dst_port: u16, payload: impl Into<Bytes>) -> Self {
+        Packet {
+            kind: PacketKind::TcpData,
+            src_port,
+            dst_port,
+            payload: payload.into(),
+        }
+    }
+
+    /// A broadcast packet (ARP request, DHCP discover…).
+    pub fn broadcast() -> Self {
+        Packet {
+            kind: PacketKind::Broadcast,
+            src_port: 0,
+            dst_port: 0,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// A UDP datagram.
+    pub fn udp(src_port: u16, dst_port: u16, payload: impl Into<Bytes>) -> Self {
+        Packet {
+            kind: PacketKind::Udp,
+            src_port,
+            dst_port,
+            payload: payload.into(),
+        }
+    }
+
+    /// Total wire size used for transfer-cost accounting.
+    pub fn wire_bytes(&self) -> usize {
+        // 14 Ethernet + 20 IP + 20 TCP of header, plus payload.
+        54 + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify() {
+        assert_eq!(Packet::syn(1, 2).kind, PacketKind::TcpSyn);
+        assert_eq!(Packet::broadcast().kind, PacketKind::Broadcast);
+        let d = Packet::data(3, 4, &b"xyz"[..]);
+        assert_eq!(d.kind, PacketKind::TcpData);
+        assert_eq!(d.payload.len(), 3);
+    }
+
+    #[test]
+    fn wire_bytes_includes_headers() {
+        assert_eq!(Packet::syn(1, 2).wire_bytes(), 54);
+        assert_eq!(Packet::data(1, 2, vec![0u8; 100]).wire_bytes(), 154);
+    }
+}

@@ -1,0 +1,118 @@
+//! The worker-core pool: a work-conserving, non-preemptive scheduler.
+//!
+//! Both compute nodes have 16 cores. Tasks (invocation segments) occupy a
+//! core for their full duration — SEUSS OS runs a non-preemptive event
+//! model (EbbRT, §7's note on Figure 8) and our Linux model runs function
+//! bodies to completion as well. Queued tasks dispatch FIFO as cores free
+//! up.
+
+use std::collections::VecDeque;
+
+/// A pool of identical worker cores with a FIFO overflow queue.
+pub struct CorePool<T> {
+    free: Vec<u16>,
+    queue: VecDeque<T>,
+    total: u16,
+    /// Maximum queue depth observed.
+    pub peak_queue: usize,
+    /// Busy-time accumulator in nanoseconds (for utilization reporting).
+    pub busy_ns: u128,
+}
+
+impl<T> CorePool<T> {
+    /// Creates a pool of `n` cores.
+    pub fn new(n: u16) -> Self {
+        CorePool {
+            free: (0..n).rev().collect(),
+            queue: VecDeque::new(),
+            total: n,
+            peak_queue: 0,
+            busy_ns: 0,
+        }
+    }
+
+    /// Total cores.
+    pub fn total(&self) -> u16 {
+        self.total
+    }
+
+    /// Cores currently free.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Tasks waiting for a core.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a task: returns `Some(core)` if one is free (the caller
+    /// starts the task immediately), otherwise queues it.
+    pub fn submit(&mut self, task: T) -> Option<(u16, T)> {
+        match self.free.pop() {
+            Some(core) => Some((core, task)),
+            None => {
+                self.queue.push_back(task);
+                self.peak_queue = self.peak_queue.max(self.queue.len());
+                None
+            }
+        }
+    }
+
+    /// Releases a core; returns the next queued task to run on it, if
+    /// any (otherwise the core goes idle).
+    pub fn release(&mut self, core: u16) -> Option<(u16, T)> {
+        match self.queue.pop_front() {
+            Some(task) => Some((core, task)),
+            None => {
+                self.free.push(core);
+                None
+            }
+        }
+    }
+
+    /// Records `ns` of busy time (utilization accounting).
+    pub fn record_busy(&mut self, ns: u64) {
+        self.busy_ns += ns as u128;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatches_until_full_then_queues() {
+        let mut p: CorePool<u32> = CorePool::new(2);
+        assert!(p.submit(1).is_some());
+        assert!(p.submit(2).is_some());
+        assert!(p.submit(3).is_none());
+        assert_eq!(p.queued(), 1);
+        assert_eq!(p.free_count(), 0);
+    }
+
+    #[test]
+    fn release_hands_core_to_queue_head() {
+        let mut p: CorePool<u32> = CorePool::new(1);
+        let (c, _) = p.submit(1).unwrap();
+        p.submit(2);
+        p.submit(3);
+        let (c2, t) = p.release(c).unwrap();
+        assert_eq!(c2, c);
+        assert_eq!(t, 2, "FIFO order");
+        let (_, t) = p.release(c2).unwrap();
+        assert_eq!(t, 3);
+        assert!(p.release(c).is_none());
+        assert_eq!(p.free_count(), 1);
+    }
+
+    #[test]
+    fn peak_queue_tracked() {
+        let mut p: CorePool<u32> = CorePool::new(1);
+        p.submit(1);
+        for i in 0..5 {
+            p.submit(i);
+        }
+        assert_eq!(p.peak_queue, 5);
+    }
+}

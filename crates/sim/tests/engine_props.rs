@@ -1,0 +1,133 @@
+//! Property tests on the event engine: delivery order, cancellation, and
+//! determinism under arbitrary schedules.
+
+use proptest::prelude::*;
+use simcore::{Scheduler, SimTime, Simulation, World};
+
+#[derive(Default)]
+struct Recorder {
+    delivered: Vec<(u64, u32)>,
+}
+
+enum Ev {
+    Tag(u32),
+    /// Schedule `n` children `gap` ns apart when handled.
+    Spawn {
+        base: u32,
+        n: u32,
+        gap: u64,
+    },
+}
+
+impl World for Recorder {
+    type Event = Ev;
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Tag(t) => self.delivered.push((now.as_nanos(), t)),
+            Ev::Spawn { base, n, gap } => {
+                for i in 0..n {
+                    sched.schedule_in(
+                        now,
+                        simcore::SimDuration::from_nanos(gap * (i as u64 + 1)),
+                        Ev::Tag(base + i),
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delivery_times_never_decrease(times in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Simulation::new(Recorder::default());
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), Ev::Tag(i as u32));
+        }
+        sim.run();
+        let d = &sim.world().delivered;
+        prop_assert_eq!(d.len(), times.len());
+        for w in d.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn equal_times_deliver_in_schedule_order(n in 2u32..50) {
+        let mut sim = Simulation::new(Recorder::default());
+        for i in 0..n {
+            sim.schedule_at(SimTime::from_nanos(42), Ev::Tag(i));
+        }
+        sim.run();
+        let tags: Vec<u32> = sim.world().delivered.iter().map(|&(_, t)| t).collect();
+        prop_assert_eq!(tags, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire(
+        times in prop::collection::vec(0u64..1_000, 2..60),
+        cancel_mask in prop::collection::vec(any::<bool>(), 2..60),
+    ) {
+        let mut sim = Simulation::new(Recorder::default());
+        let mut expected = Vec::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i as u32, sim.schedule_at(SimTime::from_nanos(t), Ev::Tag(i as u32))))
+            .collect();
+        for ((tag, id), &cancel) in ids.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+            if cancel {
+                sim.cancel(*id);
+            } else {
+                expected.push(*tag);
+            }
+        }
+        sim.run();
+        let mut got: Vec<u32> = sim.world().delivered.iter().map(|&(_, t)| t).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cascading_schedules_advance_monotonically(spawns in prop::collection::vec((0u32..8, 1u64..50), 1..12)) {
+        let mut sim = Simulation::new(Recorder::default());
+        for (i, &(n, gap)) in spawns.iter().enumerate() {
+            sim.schedule_at(
+                SimTime::from_nanos(i as u64 * 7),
+                Ev::Spawn { base: 1000 * i as u32, n, gap },
+            );
+        }
+        sim.run();
+        for w in sim.world().delivered.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        let total: u32 = spawns.iter().map(|&(n, _)| n).sum();
+        prop_assert_eq!(sim.world().delivered.len(), total as usize);
+    }
+
+    #[test]
+    fn run_until_is_a_prefix_of_run(times in prop::collection::vec(0u64..1_000, 1..60), horizon in 0u64..1_000) {
+        let build = |times: &[u64]| {
+            let mut sim = Simulation::new(Recorder::default());
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(t), Ev::Tag(i as u32));
+            }
+            sim
+        };
+        let mut whole = build(&times);
+        whole.run();
+        let mut partial = build(&times);
+        partial.run_until(SimTime::from_nanos(horizon));
+        let full = &whole.world().delivered;
+        let pre = &partial.world().delivered;
+        prop_assert!(pre.len() <= full.len());
+        prop_assert_eq!(&full[..pre.len()], &pre[..]);
+        prop_assert!(pre.iter().all(|&(t, _)| t <= horizon));
+        // Finishing the partial run yields the same trace.
+        partial.run();
+        prop_assert_eq!(&partial.world().delivered, full);
+    }
+}

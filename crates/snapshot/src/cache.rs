@@ -1,0 +1,307 @@
+//! The function-snapshot cache.
+//!
+//! SEUSS "maintains a cache of snapshots as well as a cache of idle UCs"
+//! (§4). This is the snapshot half: a map from function identity to its
+//! function-specific snapshot, with LRU eviction constrained by the §6
+//! deletion policy (never evict a snapshot with active UCs). Capacity is
+//! expressed in diff pages, because diff pages are what snapshots actually
+//! cost — 32,000 two-MiB NOP snapshots is the paper's post-AO cache limit.
+
+use std::collections::HashMap;
+
+use seuss_mem::PhysMemory;
+use seuss_paging::Mmu;
+
+use crate::store::{SnapshotId, SnapshotStore};
+
+/// LRU cache of function-specific snapshots, keyed by function identity.
+pub struct SnapshotCache<K> {
+    entries: HashMap<K, CacheEntry>,
+    capacity_diff_pages: u64,
+    used_diff_pages: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+struct CacheEntry {
+    snap: SnapshotId,
+    diff_pages: u64,
+    last_use: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> SnapshotCache<K> {
+    /// Creates a cache bounded by total diff pages.
+    pub fn new(capacity_diff_pages: u64) -> Self {
+        SnapshotCache {
+            entries: HashMap::new(),
+            capacity_diff_pages,
+            used_diff_pages: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Diff pages currently accounted in the cache.
+    pub fn used_diff_pages(&self) -> u64 {
+        self.used_diff_pages
+    }
+
+    /// `(hits, misses, evictions)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Looks up the snapshot for `key`, refreshing recency.
+    pub fn lookup(&mut self, key: &K) -> Option<SnapshotId> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.last_use = self.clock;
+                self.hits += 1;
+                Some(e.snap)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly captured snapshot for `key`, evicting as needed.
+    ///
+    /// Eviction deletes least-recently-used snapshots *that the store
+    /// allows deleting* (no active UCs, no children). If the cache cannot
+    /// make room — every resident snapshot is pinned — the insert still
+    /// succeeds and the cache runs over budget; the OOM daemon handles
+    /// actual memory pressure.
+    pub fn insert(
+        &mut self,
+        store: &mut SnapshotStore,
+        mmu: &mut Mmu,
+        mem: &mut PhysMemory,
+        key: K,
+        snap: SnapshotId,
+    ) {
+        self.clock += 1;
+        let diff_pages = store.get(snap).map(|s| s.diff_pages()).unwrap_or(0);
+        while self.used_diff_pages + diff_pages > self.capacity_diff_pages {
+            if !self.evict_one(store, mmu, mem) {
+                break;
+            }
+        }
+        if let Some(old) = self.entries.insert(
+            key,
+            CacheEntry {
+                snap,
+                diff_pages,
+                last_use: self.clock,
+            },
+        ) {
+            // Replaced an existing entry: release its accounting and try to
+            // delete the displaced snapshot.
+            self.used_diff_pages -= old.diff_pages;
+            let _ = store.delete(mmu, mem, old.snap);
+        }
+        self.used_diff_pages += diff_pages;
+    }
+
+    fn evict_one(
+        &mut self,
+        store: &mut SnapshotStore,
+        mmu: &mut Mmu,
+        mem: &mut PhysMemory,
+    ) -> bool {
+        // Scan for the LRU entry whose snapshot is deletable.
+        let mut candidates: Vec<(&K, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                store
+                    .get(e.snap)
+                    .map(|s| s.active_ucs() == 0)
+                    .unwrap_or(true)
+            })
+            .map(|(k, e)| (k, e.last_use))
+            .collect();
+        candidates.sort_by_key(|&(_, t)| t);
+        let Some((key, _)) = candidates.first() else {
+            return false;
+        };
+        let key = (*key).clone();
+        let entry = self.entries.remove(&key).expect("candidate came from map");
+        self.used_diff_pages -= entry.diff_pages;
+        self.evictions += 1;
+        // Deletion can still fail (children); accounting-wise it is out of
+        // the cache either way.
+        let _ = store.delete(mmu, mem, entry.snap);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::RegisterState;
+    use crate::store::SnapshotKind;
+    use seuss_mem::{VirtAddr, PAGE_SIZE};
+    use seuss_paging::{AddressSpace, Region, RegionKind};
+
+    struct Rig {
+        mem: PhysMemory,
+        mmu: Mmu,
+        store: SnapshotStore,
+        #[allow(dead_code)] // keeps the base image's pages alive
+        base_space: AddressSpace,
+        base: SnapshotId,
+    }
+
+    fn rig() -> Rig {
+        let mut mem = PhysMemory::with_mib(64);
+        let mut mmu = Mmu::new();
+        let mut space = mmu.create_space(&mut mem).unwrap();
+        space.add_region(Region {
+            start: VirtAddr::new(0x10_0000),
+            pages: 8192,
+            kind: RegionKind::Heap,
+            writable: true,
+            demand_zero: true,
+        });
+        for i in 0..10u64 {
+            mmu.touch_write(
+                &mut mem,
+                &mut space,
+                VirtAddr::new(0x10_0000 + i * PAGE_SIZE as u64),
+            )
+            .unwrap();
+        }
+        let mut store = SnapshotStore::new();
+        let base = store
+            .capture(
+                &mut mmu,
+                &mut mem,
+                &mut space,
+                RegisterState::default(),
+                SnapshotKind::Runtime,
+                "base",
+                None,
+            )
+            .unwrap();
+        Rig {
+            mem,
+            mmu,
+            store,
+            base_space: space,
+            base,
+        }
+    }
+
+    fn make_fn_snapshot(r: &mut Rig, salt: u64, pages: u64) -> SnapshotId {
+        let (mut uc, _) = r.store.deploy(&mut r.mmu, &mut r.mem, r.base).unwrap();
+        for i in 0..pages {
+            let va = VirtAddr::new(0x10_0000 + (100 + salt * 50 + i) * PAGE_SIZE as u64);
+            r.mmu.touch_write(&mut r.mem, &mut uc, va).unwrap();
+        }
+        let snap = r
+            .store
+            .capture(
+                &mut r.mmu,
+                &mut r.mem,
+                &mut uc,
+                RegisterState::default(),
+                SnapshotKind::Function,
+                format!("fn{salt}"),
+                Some(r.base),
+            )
+            .unwrap();
+        r.mmu.destroy_space(&mut r.mem, uc);
+        r.store.release_uc(r.base).unwrap();
+        snap
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut r = rig();
+        let mut cache: SnapshotCache<u64> = SnapshotCache::new(1000);
+        assert_eq!(cache.lookup(&1), None);
+        let s = make_fn_snapshot(&mut r, 1, 2);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 1, s);
+        assert_eq!(cache.lookup(&1), Some(s));
+        assert_eq!(cache.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut r = rig();
+        let mut cache: SnapshotCache<u64> = SnapshotCache::new(5); // pages
+        let s1 = make_fn_snapshot(&mut r, 1, 2);
+        let s2 = make_fn_snapshot(&mut r, 2, 2);
+        let s3 = make_fn_snapshot(&mut r, 3, 2);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 1, s1);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 2, s2);
+        // Touch 1 so 2 becomes LRU.
+        cache.lookup(&1);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 3, s3);
+        assert!(cache.lookup(&2).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&1).is_some());
+        assert!(cache.lookup(&3).is_some());
+        assert_eq!(cache.used_diff_pages(), 4);
+        // The evicted snapshot was actually deleted from the store.
+        assert_eq!(
+            r.store.get(s2).copied_err(),
+            Some(crate::SnapshotError::Dangling)
+        );
+    }
+
+    trait CopiedErr<T> {
+        fn copied_err(self) -> Option<crate::SnapshotError>;
+    }
+    impl<T> CopiedErr<T> for Result<T, crate::SnapshotError> {
+        fn copied_err(self) -> Option<crate::SnapshotError> {
+            self.err()
+        }
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_eviction() {
+        let mut r = rig();
+        let mut cache: SnapshotCache<u64> = SnapshotCache::new(3);
+        let s1 = make_fn_snapshot(&mut r, 1, 2);
+        // Pin s1 with an active UC.
+        let (uc, _) = r.store.deploy(&mut r.mmu, &mut r.mem, s1).unwrap();
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 1, s1);
+        let s2 = make_fn_snapshot(&mut r, 2, 2);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 2, s2);
+        // s1 was pinned, so it must still resolve.
+        assert!(r.store.get(s1).is_ok());
+        r.mmu.destroy_space(&mut r.mem, uc);
+        r.store.release_uc(s1).unwrap();
+    }
+
+    #[test]
+    fn reinsert_replaces_and_deletes_old() {
+        let mut r = rig();
+        let mut cache: SnapshotCache<u64> = SnapshotCache::new(100);
+        let s1 = make_fn_snapshot(&mut r, 1, 2);
+        let s2 = make_fn_snapshot(&mut r, 2, 3);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 7, s1);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 7, s2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&7), Some(s2));
+        assert_eq!(cache.used_diff_pages(), 3);
+        assert!(r.store.get(s1).is_err(), "displaced snapshot deleted");
+    }
+}

@@ -1,0 +1,86 @@
+//! Snapshot triggers: the x86 debug-register mechanism, simulated.
+//!
+//! "In our prototype, we use the x86 debug register to trigger the
+//! creation of a snapshot. … Through this method, we can pinpoint the
+//! exact instruction within the unikernel where the snapshot is captured"
+//! (§6). The simulation keeps the same shape: a trigger arms a watchpoint
+//! on a virtual instruction address; the unikernel execution model calls
+//! [`SnapshotTrigger::check`] as it passes program points, and the first
+//! hit fires exactly once.
+
+use seuss_mem::VirtAddr;
+
+/// An armed instruction-address watchpoint (one of the four x86 debug
+/// registers DR0–DR3).
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotTrigger {
+    target: VirtAddr,
+    armed: bool,
+    hits: u32,
+}
+
+impl SnapshotTrigger {
+    /// Arms a trigger on the given instruction address.
+    pub fn armed_at(target: VirtAddr) -> Self {
+        SnapshotTrigger {
+            target,
+            armed: true,
+            hits: 0,
+        }
+    }
+
+    /// The watched instruction address.
+    pub fn target(&self) -> VirtAddr {
+        self.target
+    }
+
+    /// Whether the trigger is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Number of times the trigger has fired.
+    pub fn hits(&self) -> u32 {
+        self.hits
+    }
+
+    /// Reports execution reaching `rip`. Returns `true` exactly when the
+    /// armed watchpoint fires (the #DB exception that starts a capture).
+    pub fn check(&mut self, rip: VirtAddr) -> bool {
+        if self.armed && rip == self.target {
+            self.armed = false;
+            self.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-arms the trigger (writing DR7 again).
+    pub fn rearm(&mut self) {
+        self.armed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_target() {
+        let mut t = SnapshotTrigger::armed_at(VirtAddr::new(0x1000));
+        assert!(!t.check(VirtAddr::new(0x0FF8)));
+        assert!(t.check(VirtAddr::new(0x1000)));
+        assert!(!t.check(VirtAddr::new(0x1000)), "disarmed after first hit");
+        assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn rearm_allows_second_fire() {
+        let mut t = SnapshotTrigger::armed_at(VirtAddr::new(0x2000));
+        assert!(t.check(VirtAddr::new(0x2000)));
+        t.rearm();
+        assert!(t.check(VirtAddr::new(0x2000)));
+        assert_eq!(t.hits(), 2);
+    }
+}

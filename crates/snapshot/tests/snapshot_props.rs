@@ -1,0 +1,239 @@
+//! Property tests on snapshot stacks: arbitrary capture/deploy/delete
+//! trees keep frame accounting exact, respect the deletion-safety
+//! policy, and always resolve a deployed UC to its snapshot's bytes.
+
+use proptest::prelude::*;
+use seuss_mem::{PhysMemory, VirtAddr, PAGE_SIZE};
+use seuss_paging::{AddressSpace, Mmu, Region, RegionKind};
+use seuss_snapshot::{RegisterState, SnapshotId, SnapshotKind, SnapshotStore};
+
+const BASE: u64 = 0x40_0000;
+
+struct Rig {
+    mem: PhysMemory,
+    mmu: Mmu,
+    store: SnapshotStore,
+}
+
+fn rig() -> Rig {
+    Rig {
+        mem: PhysMemory::with_mib(512),
+        mmu: Mmu::new(),
+        store: SnapshotStore::new(),
+    }
+}
+
+fn seeded_space(r: &mut Rig, pages: u64) -> AddressSpace {
+    let mut s = r.mmu.create_space(&mut r.mem).expect("space");
+    s.add_region(Region {
+        start: VirtAddr::new(BASE),
+        pages: 4096,
+        kind: RegionKind::Heap,
+        writable: true,
+        demand_zero: true,
+    });
+    for p in 0..pages {
+        let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
+        r.mmu
+            .write_bytes(&mut r.mem, &mut s, va, &[p as u8])
+            .expect("seed");
+    }
+    s
+}
+
+#[derive(Clone, Debug)]
+enum Act {
+    /// Deploy a UC from snapshot `s % live`, write `w` pages, maybe
+    /// capture a child, destroy the UC.
+    DeployWriteCapture { s: usize, w: u64, capture: bool },
+    /// Try deleting snapshot `s % live` (may legitimately refuse).
+    TryDelete { s: usize },
+}
+
+fn act() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        (0usize..16, 0u64..20, any::<bool>()).prop_map(|(s, w, capture)| Act::DeployWriteCapture {
+            s,
+            w,
+            capture
+        }),
+        (0usize..16).prop_map(|s| Act::TryDelete { s }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn snapshot_trees_never_leak(acts in prop::collection::vec(act(), 1..25)) {
+        let mut r = rig();
+        let mut space = seeded_space(&mut r, 30);
+        let base = r
+            .store
+            .capture(&mut r.mmu, &mut r.mem, &mut space, RegisterState::default(), SnapshotKind::Runtime, "base", None)
+            .expect("base capture");
+        r.mmu.destroy_space(&mut r.mem, space);
+        let mut live: Vec<SnapshotId> = vec![base];
+
+        for a in acts {
+            match a {
+                Act::DeployWriteCapture { s, w, capture } => {
+                    let parent = live[s % live.len()];
+                    let (mut uc, _) = r
+                        .store
+                        .deploy(&mut r.mmu, &mut r.mem, parent)
+                        .expect("deploy");
+                    for p in 0..w {
+                        let va = VirtAddr::new(BASE + (100 + p) * PAGE_SIZE as u64);
+                        r.mmu
+                            .write_bytes(&mut r.mem, &mut uc, va, &[1])
+                            .expect("write");
+                    }
+                    if capture && live.len() < 16 {
+                        let child = r
+                            .store
+                            .capture(&mut r.mmu, &mut r.mem, &mut uc, RegisterState::default(), SnapshotKind::Function, "f", Some(parent))
+                            .expect("capture");
+                        live.push(child);
+                    }
+                    r.mmu.destroy_space(&mut r.mem, uc);
+                    r.store.release_uc(parent).expect("release");
+                }
+                Act::TryDelete { s } => {
+                    if live.len() > 1 {
+                        let idx = 1 + s % (live.len() - 1); // never the base here
+                        let victim = live[idx];
+                        if r.store.delete(&mut r.mmu, &mut r.mem, victim).is_ok() {
+                            live.remove(idx);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Teardown: children before parents (reverse insertion order works
+        // because parents always precede children in `live`).
+        for id in live.iter().rev() {
+            r.store
+                .delete(&mut r.mmu, &mut r.mem, *id)
+                .expect("ordered teardown");
+        }
+        prop_assert_eq!(r.mem.stats().used_frames, 0, "leaked frames");
+        prop_assert_eq!(r.mmu.store.live_tables(), 0, "leaked tables");
+    }
+
+    #[test]
+    fn deploys_see_exact_snapshot_bytes(
+        seed_pages in 1u64..40,
+        writes in prop::collection::vec((0u64..40, any::<u8>()), 0..20),
+    ) {
+        let mut r = rig();
+        let mut space = seeded_space(&mut r, seed_pages);
+        for &(p, v) in &writes {
+            let va = VirtAddr::new(BASE + (p % seed_pages) * PAGE_SIZE as u64);
+            r.mmu.write_bytes(&mut r.mem, &mut space, va, &[v]).expect("write");
+        }
+        let snap = r
+            .store
+            .capture(&mut r.mmu, &mut r.mem, &mut space, RegisterState::default(), SnapshotKind::Runtime, "s", None)
+            .expect("capture");
+        // Record expected bytes, then trash the original space.
+        let mut want = Vec::new();
+        for p in 0..seed_pages {
+            let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
+            let mut b = [0u8];
+            r.mmu.read_bytes(&mut r.mem, &mut space, va, &mut b).expect("read");
+            want.push(b[0]);
+        }
+        for p in 0..seed_pages {
+            let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
+            r.mmu.write_bytes(&mut r.mem, &mut space, va, &[0xEE]).expect("trash");
+        }
+        let (mut uc, _) = r.store.deploy(&mut r.mmu, &mut r.mem, snap).expect("deploy");
+        for p in 0..seed_pages {
+            let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
+            let mut b = [0u8];
+            r.mmu.read_bytes(&mut r.mem, &mut uc, va, &mut b).expect("read uc");
+            prop_assert_eq!(b[0], want[p as usize], "page {}", p);
+        }
+        r.mmu.destroy_space(&mut r.mem, uc);
+        r.store.release_uc(snap).expect("release");
+        r.mmu.destroy_space(&mut r.mem, space);
+        r.store.delete(&mut r.mmu, &mut r.mem, snap).expect("delete");
+        prop_assert_eq!(r.mem.stats().used_frames, 0);
+    }
+}
+
+#[test]
+fn deep_snapshot_stacks_deploy_in_constant_frames() {
+    // Snapshot stacks can nest (fn-of-fn captures); deploy cost must not
+    // grow with stack depth — it is always one shallow root clone.
+    let mut r = rig();
+    let mut space = seeded_space(&mut r, 20);
+    let base = r
+        .store
+        .capture(
+            &mut r.mmu,
+            &mut r.mem,
+            &mut space,
+            RegisterState::default(),
+            SnapshotKind::Runtime,
+            "base",
+            None,
+        )
+        .expect("base");
+    r.mmu.destroy_space(&mut r.mem, space);
+
+    let mut chain = vec![base];
+    for depth in 0..10u64 {
+        let parent = *chain.last().expect("nonempty");
+        let (mut uc, _) = r
+            .store
+            .deploy(&mut r.mmu, &mut r.mem, parent)
+            .expect("deploy");
+        let va = VirtAddr::new(BASE + (500 + depth) * PAGE_SIZE as u64);
+        r.mmu
+            .write_bytes(&mut r.mem, &mut uc, va, &[depth as u8])
+            .expect("write");
+        let snap = r
+            .store
+            .capture(
+                &mut r.mmu,
+                &mut r.mem,
+                &mut uc,
+                RegisterState::default(),
+                SnapshotKind::Function,
+                format!("d{depth}"),
+                Some(parent),
+            )
+            .expect("capture");
+        r.mmu.destroy_space(&mut r.mem, uc);
+        r.store.release_uc(parent).expect("release");
+        chain.push(snap);
+    }
+    let deepest = *chain.last().expect("nonempty");
+    assert_eq!(r.store.stack_of(deepest).expect("stack").len(), 11);
+
+    // Deploy from the deepest: one root-table frame, and every ancestor's
+    // page resolves.
+    let before = r.mem.stats().used_frames;
+    let (mut uc, _) = r
+        .store
+        .deploy(&mut r.mmu, &mut r.mem, deepest)
+        .expect("deploy deep");
+    assert_eq!(
+        r.mem.stats().used_frames,
+        before + 1,
+        "deploy is depth-independent"
+    );
+    for depth in 0..10u64 {
+        let va = VirtAddr::new(BASE + (500 + depth) * PAGE_SIZE as u64);
+        let mut b = [0u8];
+        r.mmu
+            .read_bytes(&mut r.mem, &mut uc, va, &mut b)
+            .expect("read");
+        assert_eq!(b[0], depth as u8, "ancestor page at depth {depth}");
+    }
+    r.mmu.destroy_space(&mut r.mem, uc);
+    r.store.release_uc(deepest).expect("release");
+}

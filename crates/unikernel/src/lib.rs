@@ -1,0 +1,40 @@
+//! `seuss-unikernel` — unikernel contexts (UCs): Rumprun-style guests
+//! hosting a language runtime and the invocation driver.
+//!
+//! "In SEUSS, each unikernel context (UC) consists of a high-level
+//! language interpreter configured to import and execute function code"
+//! (§3). A UC here is [`context::UcContext`]: a flat address space laid
+//! out like a Rumprun guest ([`layout`]), a `miniscript` interpreter whose
+//! heap writes land in that address space ([`memory::UcMemory`]), the
+//! Solo5-style 12-hypercall domain interface ([`solo5`]), and a driver
+//! state machine that accepts function code and run arguments over the
+//! internal network.
+//!
+//! Booting a UC really dirties pages: the boot model commits the guest
+//! image, runtime init, and driver startup through the paging crate, so a
+//! fully-initialized Node.js-class UC resolves to ≈110 MiB of resident
+//! pages — the paper's base-snapshot magnitude — page by page.
+//!
+//! [`image::ImageStore`] pairs mechanical snapshots (guest pages +
+//! registers, from `seuss-snapshot`) with the semantic mirror a deployed
+//! UC needs (the interpreter state as of the capture). Deploys from one
+//! image share everything until they write, per the COW rules.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod image;
+pub mod layout;
+pub mod memory;
+pub mod profile;
+pub mod runtime;
+pub mod solo5;
+
+pub use context::{InvocationOutcome, UcContext, UcError, UcState};
+pub use image::{ImageStore, UcImageId, UcImagePackage};
+pub use layout::Layout;
+pub use memory::UcMemory;
+pub use profile::UcProfile;
+pub use runtime::RuntimeKind;
+pub use solo5::{Hypercall, HypercallCounts};

@@ -1,0 +1,92 @@
+//! The Solo5-style hypercall interface.
+//!
+//! "The hypercall interface used in our prototype, ukvm, exposes only 12
+//! system calls while the standard security of a Docker container gives
+//! access to over 300 Linux syscalls" (§5). This module enumerates that
+//! narrow domain interface and counts crossings — the counts feed both
+//! the cost model (each crossing is a ring transition) and the security
+//! story (the entire attack surface is this enum).
+
+/// The 12 hypercalls a UC may issue (the ukvm/Solo5 set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Hypercall {
+    /// Current wall-clock time.
+    WallTime = 0,
+    /// Console output.
+    Puts = 1,
+    /// Poll for IO readiness (cooperative scheduling point).
+    Poll = 2,
+    /// Block-device info.
+    BlkInfo = 3,
+    /// Block write.
+    BlkWrite = 4,
+    /// Block read.
+    BlkRead = 5,
+    /// Network-device info.
+    NetInfo = 6,
+    /// Network transmit.
+    NetWrite = 7,
+    /// Network receive.
+    NetRead = 8,
+    /// Guest halt (normal exit).
+    Halt = 9,
+    /// Memory info (heap bounds).
+    MemInfo = 10,
+    /// Abnormal exit.
+    Exit = 11,
+}
+
+/// Number of distinct hypercalls (the whole domain interface).
+pub const HYPERCALL_COUNT: usize = 12;
+
+/// Per-hypercall crossing counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HypercallCounts {
+    counts: [u64; HYPERCALL_COUNT],
+}
+
+impl HypercallCounts {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one crossing.
+    pub fn record(&mut self, call: Hypercall) {
+        self.counts[call as usize] += 1;
+    }
+
+    /// Crossings for one hypercall.
+    pub fn get(&self, call: Hypercall) -> u64 {
+        self.counts[call as usize]
+    }
+
+    /// Total ring transitions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_is_twelve_calls() {
+        assert_eq!(HYPERCALL_COUNT, 12);
+        assert_eq!(Hypercall::Exit as usize, 11);
+    }
+
+    #[test]
+    fn counting_crossings() {
+        let mut c = HypercallCounts::new();
+        c.record(Hypercall::NetWrite);
+        c.record(Hypercall::NetWrite);
+        c.record(Hypercall::Poll);
+        assert_eq!(c.get(Hypercall::NetWrite), 2);
+        assert_eq!(c.get(Hypercall::Poll), 1);
+        assert_eq!(c.get(Hypercall::BlkRead), 0);
+        assert_eq!(c.total(), 3);
+    }
+}

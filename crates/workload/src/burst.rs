@@ -1,0 +1,123 @@
+//! The burst-resiliency workload of Figures 6–8.
+//!
+//! "To generate the background utilization stream, we deploy our
+//! benchmark using 128 threads that make requests to a total of 16 unique
+//! IO-bound functions. The benchmark is rate-throttled to a limit of 72
+//! requests per second. Each IO-bound function makes an external network
+//! call to a remote HTTP server, which blocks for 250 ms … The CPU-bound
+//! burst functions each perform a computation that takes around 150 ms.
+//! Bursts are sent at a fixed frequency of every 32, 16, or 8 seconds"
+//! with each burst hitting one never-before-seen function (§7).
+
+use seuss_platform::{FnKind, Registry, WorkloadSpec};
+use simcore::{SimDuration, SimTime};
+
+/// Parameters of one burst experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstParams {
+    /// Seconds between bursts (32, 16, or 8 in the paper).
+    pub period_s: u64,
+    /// Number of bursts in the run.
+    pub bursts: u32,
+    /// Concurrent invocations per burst.
+    pub burst_size: u32,
+    /// CPU time of the burst function.
+    pub burst_cpu: SimDuration,
+    /// Unique IO-bound background functions.
+    pub background_fns: u64,
+    /// Closed-loop background workers.
+    pub background_workers: u32,
+    /// Background rate throttle, requests per second.
+    pub background_rps: f64,
+    /// Warm-up before the first burst.
+    pub lead_in_s: u64,
+}
+
+impl BurstParams {
+    /// The paper's configuration at a given burst period.
+    pub fn paper(period_s: u64) -> Self {
+        BurstParams {
+            period_s,
+            bursts: 10,
+            burst_size: 128,
+            burst_cpu: SimDuration::from_millis(150),
+            background_fns: 16,
+            background_workers: 128,
+            background_rps: 72.0,
+            lead_in_s: 8,
+        }
+    }
+
+    /// Total experiment span (lead-in plus all bursts plus drain).
+    pub fn span(&self) -> SimDuration {
+        SimDuration::from_secs(self.lead_in_s + self.period_s * self.bursts as u64 + 5)
+    }
+
+    /// Builds the registry and workload: background ids 0..background_fns
+    /// (IO-bound), burst ids 1000, 1001, … (one fresh CPU function per
+    /// burst).
+    pub fn build(&self) -> (Registry, WorkloadSpec) {
+        let mut registry = Registry::new();
+        registry.register_many(0, self.background_fns, FnKind::Io);
+
+        // Background stream: enough closed-loop requests to span the run
+        // at the throttled rate.
+        let total_bg = (self.background_rps * self.span().as_secs_f64()) as u64;
+        let order: Vec<u64> = (0..total_bg).map(|i| i % self.background_fns).collect();
+
+        let mut spec = WorkloadSpec::closed_loop(order, self.background_workers);
+        spec.throttle_rps = Some(self.background_rps);
+
+        for b in 0..self.bursts {
+            let fn_id = 1_000 + b as u64;
+            registry.register(fn_id, FnKind::Cpu(self.burst_cpu));
+            let at = SimTime::from_secs(self.lead_in_s + self.period_s * b as u64);
+            for _ in 0..self.burst_size {
+                spec.open_arrivals.push((at, fn_id));
+            }
+        }
+        (registry, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_paper_shape() {
+        let p = BurstParams::paper(32);
+        let (reg, spec) = p.build();
+        // 16 IO fns + 10 burst fns.
+        assert_eq!(reg.len(), 26);
+        assert_eq!(spec.open_arrivals.len(), 10 * 128);
+        assert_eq!(spec.workers, 128);
+        assert_eq!(spec.throttle_rps, Some(72.0));
+    }
+
+    #[test]
+    fn bursts_are_periodic_and_unique() {
+        let p = BurstParams::paper(16);
+        let (_, spec) = p.build();
+        let mut times: Vec<u64> = spec
+            .open_arrivals
+            .iter()
+            .map(|(t, _)| t.as_nanos() / 1_000_000_000)
+            .collect();
+        times.dedup();
+        assert_eq!(times.len(), 10);
+        assert_eq!(times[1] - times[0], 16);
+        // Each burst targets its own function.
+        let fns: std::collections::HashSet<u64> =
+            spec.open_arrivals.iter().map(|&(_, f)| f).collect();
+        assert_eq!(fns.len(), 10);
+    }
+
+    #[test]
+    fn background_spans_experiment() {
+        let p = BurstParams::paper(8);
+        let (_, spec) = p.build();
+        let expect = (72.0 * p.span().as_secs_f64()) as usize;
+        assert_eq!(spec.order.len(), expect);
+    }
+}

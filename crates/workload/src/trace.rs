@@ -1,0 +1,203 @@
+//! Trace-driven workloads: replay recorded invocation traces.
+//!
+//! Beyond the paper's synthetic trials, a production evaluation replays
+//! real platform traces (the paper's §7 benchmark persists its
+//! precomputed send order for exactly this reason). The format is a
+//! minimal CSV, one request per line:
+//!
+//! ```text
+//! # arrival_ms,fn_id,kind[,param]
+//! 0,1,nop
+//! 12,2,cpu,150        # cpu burn in ms
+//! 15,3,io
+//! ```
+//!
+//! Kinds: `nop`, `cpu` (param = milliseconds of compute), `io` (external
+//! call). Functions are registered on first mention; repeated mentions
+//! must agree on the kind. Arrivals are open-loop.
+
+use std::collections::HashMap;
+
+use seuss_platform::{FnKind, Registry, WorkloadSpec};
+use simcore::{SimDuration, SimTime};
+
+/// A trace parse error, with 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a trace into a registry and an open-loop workload spec.
+pub fn parse_trace(text: &str) -> Result<(Registry, WorkloadSpec), TraceError> {
+    let mut registry = Registry::new();
+    let mut kinds: HashMap<u64, FnKind> = HashMap::new();
+    let mut spec = WorkloadSpec::closed_loop(Vec::new(), 0);
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.split('#').next().unwrap_or("").trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 3 {
+            return Err(TraceError {
+                line,
+                msg: format!("expected arrival_ms,fn_id,kind — got {trimmed:?}"),
+            });
+        }
+        let arrival_ms: f64 = fields[0].parse().map_err(|_| TraceError {
+            line,
+            msg: format!("bad arrival time {:?}", fields[0]),
+        })?;
+        if arrival_ms < 0.0 {
+            return Err(TraceError {
+                line,
+                msg: "negative arrival time".into(),
+            });
+        }
+        let fn_id: u64 = fields[1].parse().map_err(|_| TraceError {
+            line,
+            msg: format!("bad fn id {:?}", fields[1]),
+        })?;
+        let kind = match fields[2] {
+            "nop" => FnKind::Nop,
+            "io" => FnKind::Io,
+            "cpu" => {
+                let ms: u64 = fields
+                    .get(3)
+                    .ok_or(TraceError {
+                        line,
+                        msg: "cpu kind needs a milliseconds param".into(),
+                    })?
+                    .parse()
+                    .map_err(|_| TraceError {
+                        line,
+                        msg: format!("bad cpu param {:?}", fields.get(3)),
+                    })?;
+                FnKind::Cpu(SimDuration::from_millis(ms))
+            }
+            other => {
+                return Err(TraceError {
+                    line,
+                    msg: format!("unknown kind {other:?}"),
+                })
+            }
+        };
+        match kinds.get(&fn_id) {
+            Some(prev) if *prev != kind => {
+                return Err(TraceError {
+                    line,
+                    msg: format!("fn {fn_id} kind changed from {prev:?} to {kind:?}"),
+                })
+            }
+            Some(_) => {}
+            None => {
+                kinds.insert(fn_id, kind);
+                registry.register(fn_id, kind);
+            }
+        }
+        spec.open_arrivals
+            .push((SimTime::from_nanos((arrival_ms * 1e6) as u64), fn_id));
+    }
+    Ok((registry, spec))
+}
+
+/// Renders a workload spec's open arrivals back to trace text (round-trip
+/// persistence for the "precomputed and persisted" benchmark property).
+pub fn render_trace(registry: &Registry, spec: &WorkloadSpec) -> String {
+    let mut out = String::from("# arrival_ms,fn_id,kind[,param]\n");
+    for (at, fn_id) in &spec.open_arrivals {
+        let kind = registry.get(*fn_id).map(|s| s.kind).unwrap_or(FnKind::Nop);
+        let kind_str = match kind {
+            FnKind::Nop => "nop".to_string(),
+            FnKind::Io => "io".to_string(),
+            FnKind::Cpu(d) => format!("cpu,{}", d.as_millis_f64() as u64),
+        };
+        out.push_str(&format!("{:.3},{},{}\n", at.as_millis_f64(), fn_id, kind_str));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a demo trace
+0,1,nop
+12,2,cpu,150
+15,3,io
+20,1,nop      # repeat mention, same kind
+";
+
+    #[test]
+    fn parses_valid_trace() {
+        let (reg, spec) = parse_trace(SAMPLE).expect("parse");
+        assert_eq!(reg.len(), 3);
+        assert_eq!(spec.open_arrivals.len(), 4);
+        assert_eq!(spec.open_arrivals[1].0, SimTime::from_millis(12));
+        assert_eq!(
+            reg.get(2).expect("fn 2").kind,
+            FnKind::Cpu(SimDuration::from_millis(150))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_trace("oops").is_err());
+        assert!(parse_trace("1,2").is_err());
+        assert!(parse_trace("-5,1,nop").is_err());
+        assert!(parse_trace("0,x,nop").is_err());
+        assert!(parse_trace("0,1,frobnicate").is_err());
+        assert!(parse_trace("0,1,cpu").is_err(), "cpu needs a param");
+    }
+
+    #[test]
+    fn rejects_kind_conflicts() {
+        let err = parse_trace("0,1,nop\n5,1,io\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("kind changed"));
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let (reg, spec) = parse_trace(SAMPLE).expect("parse");
+        let text = render_trace(&reg, &spec);
+        let (reg2, spec2) = parse_trace(&text).expect("reparse");
+        assert_eq!(reg2.len(), reg.len());
+        assert_eq!(spec2.open_arrivals, spec.open_arrivals);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let (_, spec) = parse_trace("\n# only comments\n\n").expect("parse");
+        assert!(spec.open_arrivals.is_empty());
+    }
+
+    #[test]
+    fn trace_runs_end_to_end() {
+        use seuss_platform::{run_trial, BackendKind, ClusterConfig};
+        let (reg, spec) = parse_trace(SAMPLE).expect("parse");
+        let mut node = seuss_core::SeussConfig::paper_node();
+        node.mem_mib = 2048;
+        let cfg = ClusterConfig {
+            backend: BackendKind::Seuss(Box::new(node)),
+            ..ClusterConfig::seuss_paper()
+        };
+        let out = run_trial(cfg, reg, &spec);
+        assert_eq!(out.analysis.completed, 4);
+        assert_eq!(out.analysis.errors, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! How many Node.js execution environments fit on one compute node?
+//! (The Table 3 density experiment as a runnable walkthrough.)
+//!
+//! ```sh
+//! cargo run --release --example isolation_density [mem_mib]
+//! ```
+
+use seuss::baseline::{DockerEngine, FirecrackerEngine, ProcessEngine};
+use seuss::core::{NodeError, SeussConfig, SeussNode};
+
+fn main() {
+    let mem_mib: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8 * 1024);
+    println!("node memory: {mem_mib} MiB\n");
+
+    let fc = FirecrackerEngine::paper();
+    let dk = DockerEngine::paper(1);
+    let pr = ProcessEngine::paper();
+    println!(
+        "Firecracker microVM : {:>7} instances ({:.0} MiB each — guest kernel + container + runtime)",
+        fc.density_limit(mem_mib),
+        fc.footprint_mib
+    );
+    println!(
+        "Docker container    : {:>7} instances ({:.1} MiB each)",
+        dk.density_limit(mem_mib),
+        dk.footprint_mib
+    );
+    println!(
+        "Linux process       : {:>7} instances ({:.1} MiB each)",
+        pr.density_limit(mem_mib),
+        pr.footprint_mib
+    );
+
+    // SEUSS: actually deploy UCs until the node is full — the density is
+    // not a modeled constant, it emerges from page-table + COW accounting.
+    let mut cfg = SeussConfig::paper_node();
+    cfg.mem_mib = mem_mib;
+    cfg.idle_per_fn = usize::MAX >> 1;
+    cfg.idle_total = usize::MAX >> 1;
+    let (mut node, _) = SeussNode::new(cfg).expect("node init");
+    let baseline_mib = node.used_mib();
+    let mut deployed = 0u64;
+    loop {
+        match node.deploy_idle_uc(deployed) {
+            Ok(_) => deployed += 1,
+            Err(NodeError::OutOfMemory) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let per_uc_mib = (node.used_mib() - baseline_mib) / deployed as f64;
+    println!(
+        "SEUSS UC            : {deployed:>7} instances ({per_uc_mib:.2} MiB marginal each, measured)",
+    );
+    println!(
+        "\nthe shared base snapshot ({:.1} MiB) is stored once; every UC is a\nshallow page-table clone plus the pages its driver dirties resuming.",
+        baseline_mib
+    );
+    println!("paper (88 GiB node): 450 microVMs / 3000 containers / 4200 processes / 54000 UCs");
+}
