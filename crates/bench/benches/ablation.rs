@@ -12,7 +12,7 @@
 //!    the base snapshot. (Virtual-time effects are Table 2's job; this
 //!    shows the mechanism does proportionally more real work too.)
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seuss_bench::{BatchSize, BenchmarkId, Harness};
 
 use seuss_core::{AoLevel, SeussConfig, SeussNode};
 use seuss_mem::{PhysMemory, VirtAddr, PAGE_SIZE};
@@ -38,8 +38,8 @@ fn rig(pages: u64) -> (PhysMemory, Mmu, AddressSpace) {
     (mem, mmu, space)
 }
 
-fn ablation_deploy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_deploy");
+fn ablation_deploy(h: &mut Harness) {
+    let mut g = h.benchmark_group("ablation_deploy");
     for pages in [512u64, 4_096, 32_768] {
         g.bench_with_input(
             BenchmarkId::new("lazy_root_only", pages),
@@ -69,8 +69,8 @@ fn ablation_deploy(c: &mut Criterion) {
     g.finish();
 }
 
-fn ablation_capture(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_capture");
+fn ablation_capture(h: &mut Harness) {
+    let mut g = h.benchmark_group("ablation_capture");
     // A 4096-page image where only 64 pages are dirty since deploy.
     let dirty = 64u64;
     let image = 4_096u64;
@@ -136,8 +136,8 @@ fn ablation_capture(c: &mut Criterion) {
     g.finish();
 }
 
-fn ablation_ao(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_ao_cold_path");
+fn ablation_ao(h: &mut Harness) {
+    let mut g = h.benchmark_group("ablation_ao_cold_path");
     g.sample_size(10);
     const NOP: &str = "function main(args) { return 0; }";
     for (name, ao) in [
@@ -160,7 +160,7 @@ fn ablation_ao(c: &mut Criterion) {
     g.finish();
 }
 
-fn ablation_gc(c: &mut Criterion) {
+fn ablation_gc(h: &mut Harness) {
     // The paper's closing §7 note: COW at page granularity interacts
     // badly with runtimes that rewrite memory. A moving GC relocates
     // every object backing; after a snapshot each relocation is a COW
@@ -171,7 +171,7 @@ fn ablation_gc(c: &mut Criterion) {
     use seuss_snapshot::{SnapshotKind, SnapshotStore};
     use seuss_unikernel::{ImageStore, Layout, UcContext, UcProfile};
 
-    let mut g = c.benchmark_group("ablation_gc_vs_cow");
+    let mut g = h.benchmark_group("ablation_gc_vs_cow");
     g.sample_size(20);
 
     let build = || {
@@ -196,7 +196,15 @@ fn ablation_gc(c: &mut Criterion) {
         )
         .expect("import");
         let (img, _) = images
-            .capture(&mut mmu, &mut mem, &mut snaps, &mut uc, SnapshotKind::Function, "f", None)
+            .capture(
+                &mut mmu,
+                &mut mem,
+                &mut snaps,
+                &mut uc,
+                SnapshotKind::Function,
+                "f",
+                None,
+            )
             .expect("capture");
         (mem, mmu, snaps, images, img)
     };
@@ -204,7 +212,9 @@ fn ablation_gc(c: &mut Criterion) {
     g.bench_function("warm_invoke_no_gc", |b| {
         let (mut mem, mut mmu, mut snaps, mut images, img) = build();
         b.iter(|| {
-            let (mut uc, _) = images.deploy(&mut mmu, &mut mem, &mut snaps, img).expect("deploy");
+            let (mut uc, _) = images
+                .deploy(&mut mmu, &mut mem, &mut snaps, img)
+                .expect("deploy");
             uc.invoke(&mut mmu, &mut mem, &[]).expect("invoke");
             images.destroy_uc(&mut mmu, &mut mem, &mut snaps, uc);
         });
@@ -213,7 +223,9 @@ fn ablation_gc(c: &mut Criterion) {
     g.bench_function("warm_invoke_with_gc", |b| {
         let (mut mem, mut mmu, mut snaps, mut images, img) = build();
         b.iter(|| {
-            let (mut uc, _) = images.deploy(&mut mmu, &mut mem, &mut snaps, img).expect("deploy");
+            let (mut uc, _) = images
+                .deploy(&mut mmu, &mut mem, &mut snaps, img)
+                .expect("deploy");
             uc.invoke(&mut mmu, &mut mem, &[]).expect("invoke");
             uc.run_gc(&mut mmu, &mut mem).expect("gc");
             images.destroy_uc(&mut mmu, &mut mem, &mut snaps, uc);
@@ -222,11 +234,11 @@ fn ablation_gc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_deploy,
-    ablation_capture,
-    ablation_ao,
-    ablation_gc
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    ablation_deploy(&mut h);
+    ablation_capture(&mut h);
+    ablation_ao(&mut h);
+    ablation_gc(&mut h);
+    h.finish();
+}

@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks of the SEUSS mechanisms: page-table
+//! Micro-benchmarks of the SEUSS mechanisms: page-table
 //! operations, COW faults, snapshot capture/deploy, interpreter
 //! compile/exec, and the node's three invocation paths.
 //!
@@ -6,7 +6,7 @@
 //! virtual-time costs the experiments report are separate, produced by
 //! the calibrated cost model).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use seuss_bench::{BatchSize, Harness};
 
 use miniscript::{HostHeap, Interpreter, RuntimeProfile};
 use seuss_core::{SeussConfig, SeussNode};
@@ -34,8 +34,8 @@ fn rig(pages: u64) -> (PhysMemory, Mmu, AddressSpace) {
     (mem, mmu, space)
 }
 
-fn bench_paging(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paging");
+fn bench_paging(h: &mut Harness) {
+    let mut g = h.benchmark_group("paging");
 
     g.bench_function("translate_hit", |b| {
         let (_mem, mmu, space) = rig(64);
@@ -97,8 +97,8 @@ fn bench_paging(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_snapshots(c: &mut Criterion) {
-    let mut g = c.benchmark_group("snapshot");
+fn bench_snapshots(h: &mut Harness) {
+    let mut g = h.benchmark_group("snapshot");
 
     g.bench_function("capture_512_dirty_pages", |b| {
         b.iter_batched(
@@ -145,8 +145,8 @@ fn bench_snapshots(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_interp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interp");
+fn bench_interp(h: &mut Harness) {
+    let mut g = h.benchmark_group("interp");
 
     g.bench_function("compile_nop", |b| {
         b.iter(|| miniscript::compile("function main(args) { return 0; }").expect("compile"));
@@ -171,8 +171,8 @@ fn bench_interp(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_node_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("node");
+fn bench_node_paths(h: &mut Harness) {
+    let mut g = h.benchmark_group("node");
     g.sample_size(20);
 
     const NOP: &str = "function main(args) { return 0; }";
@@ -206,11 +206,11 @@ fn bench_node_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_paging,
-    bench_snapshots,
-    bench_interp,
-    bench_node_paths
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_paging(&mut h);
+    bench_snapshots(&mut h);
+    bench_interp(&mut h);
+    bench_node_paths(&mut h);
+    h.finish();
+}

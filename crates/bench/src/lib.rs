@@ -14,9 +14,11 @@
 //! | `fig5`   | end-to-end latency percentiles at three set sizes |
 //! | `fig6`/`fig7`/`fig8` | burst resiliency at 32 s / 16 s / 8 s periods |
 //!
-//! Criterion micro-benchmarks of the underlying mechanisms live in
-//! `benches/` (snapshot capture/deploy, page-fault service, interpreter
-//! compile/exec, and the design-choice ablations from DESIGN.md).
+//! Micro-benchmarks of the underlying mechanisms live in `benches/`
+//! (snapshot capture/deploy, page-fault service, interpreter
+//! compile/exec, and the design-choice ablations from DESIGN.md), driven
+//! by the in-tree [`timing`] harness — criterion's API surface without
+//! its dependency tree, keeping the workspace fully offline-buildable.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +30,7 @@ pub mod render;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod timing;
 
 pub use fig4::{run_fig4, Fig4Point};
 pub use fig5::{run_fig5, Fig5Row};
@@ -36,3 +39,4 @@ pub use render::{ratio, Table};
 pub use table1::{run_table1, Table1Results};
 pub use table2::{run_table2, Table2Results};
 pub use table3::{run_table3, IsolationRow, Table3Results};
+pub use timing::{BatchSize, Bencher, BenchmarkId, Harness};

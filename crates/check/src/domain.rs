@@ -1,0 +1,381 @@
+//! Generators for the SEUSS core domain types: virtual addresses, page
+//! permissions/regions, boot profiles, and burst traces.
+//!
+//! These sit here (rather than in each mechanism crate) so every property
+//! suite draws the same distributions — a paging test and a snapshot test
+//! stressing "random addresses in a heap region" mean the same thing.
+
+use seuss_mem::{VirtAddr, PAGE_SIZE};
+use seuss_paging::{Region, RegionKind};
+use simcore::SimRng;
+
+use crate::gen::{bools, choice, range, vecs, BoolGen, ChoiceGen, Gen, IntGen, VecGen};
+
+// ---------------------------------------------------------------------------
+// Virtual addresses
+// ---------------------------------------------------------------------------
+
+/// Page-aligned virtual addresses in `[base, base + pages * PAGE_SIZE)`,
+/// shrinking toward `base`.
+pub fn virt_addrs(base: u64, pages: u64) -> VirtAddrGen {
+    assert!(pages > 0, "virt_addrs requires at least one page");
+    VirtAddrGen {
+        base,
+        pages: range(0u64, pages - 1),
+    }
+}
+
+/// See [`virt_addrs`].
+pub struct VirtAddrGen {
+    base: u64,
+    pages: IntGen<u64>,
+}
+
+impl VirtAddrGen {
+    fn page_of(&self, va: &VirtAddr) -> u64 {
+        (va.as_u64() - self.base) / PAGE_SIZE as u64
+    }
+
+    fn at(&self, page: u64) -> VirtAddr {
+        VirtAddr::new(self.base + page * PAGE_SIZE as u64)
+    }
+}
+
+impl Gen for VirtAddrGen {
+    type Value = VirtAddr;
+
+    fn generate(&self, rng: &mut SimRng) -> VirtAddr {
+        self.at(self.pages.generate(rng))
+    }
+
+    fn shrink(&self, value: &VirtAddr) -> Vec<VirtAddr> {
+        self.pages
+            .shrink(&self.page_of(value))
+            .into_iter()
+            .map(|p| self.at(p))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page permissions and regions
+// ---------------------------------------------------------------------------
+
+/// Page-level permission bits, shrinking toward the most permissive
+/// (writable, demand-zero) heap default — the configuration every other
+/// test uses, hence the "least surprising" corner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagePerms {
+    /// Writes permitted.
+    pub writable: bool,
+    /// Unmapped pages materialize as zero frames on first touch.
+    pub demand_zero: bool,
+}
+
+/// Generator over all four [`PagePerms`] combinations.
+pub fn page_perms() -> PagePermsGen {
+    PagePermsGen {
+        bits: (bools(), bools()),
+    }
+}
+
+/// See [`page_perms`].
+pub struct PagePermsGen {
+    bits: (BoolGen, BoolGen),
+}
+
+impl Gen for PagePermsGen {
+    type Value = PagePerms;
+
+    fn generate(&self, rng: &mut SimRng) -> PagePerms {
+        let (writable, demand_zero) = self.bits.generate(rng);
+        PagePerms {
+            writable,
+            demand_zero,
+        }
+    }
+
+    fn shrink(&self, value: &PagePerms) -> Vec<PagePerms> {
+        // Toward the writable demand-zero heap default.
+        let mut out = Vec::new();
+        if !value.writable || !value.demand_zero {
+            out.push(PagePerms {
+                writable: true,
+                demand_zero: true,
+            });
+        }
+        out
+    }
+}
+
+/// Memory regions rooted at `base`, between 1 and `max_pages` pages, over
+/// every [`RegionKind`]; sizes shrink toward a single heap page.
+pub fn regions(base: u64, max_pages: u64) -> RegionGen {
+    assert!(max_pages > 0, "regions require at least one page");
+    RegionGen {
+        base,
+        pages: range(1u64, max_pages),
+        kind: choice(vec![
+            RegionKind::Heap,
+            RegionKind::Data,
+            RegionKind::Stack,
+            RegionKind::Text,
+            RegionKind::Io,
+        ]),
+        perms: page_perms(),
+    }
+}
+
+/// See [`regions`].
+pub struct RegionGen {
+    base: u64,
+    pages: IntGen<u64>,
+    kind: ChoiceGen<RegionKind>,
+    perms: PagePermsGen,
+}
+
+impl Gen for RegionGen {
+    type Value = Region;
+
+    fn generate(&self, rng: &mut SimRng) -> Region {
+        let perms = self.perms.generate(rng);
+        Region {
+            start: VirtAddr::new(self.base),
+            pages: self.pages.generate(rng),
+            kind: self.kind.generate(rng),
+            writable: perms.writable,
+            demand_zero: perms.demand_zero,
+        }
+    }
+
+    fn shrink(&self, value: &Region) -> Vec<Region> {
+        let mut out: Vec<Region> = self
+            .pages
+            .shrink(&value.pages)
+            .into_iter()
+            .filter(|&p| p >= 1)
+            .map(|p| Region { pages: p, ..*value })
+            .collect();
+        out.extend(
+            self.kind
+                .shrink(&value.kind)
+                .into_iter()
+                .map(|k| Region { kind: k, ..*value }),
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Boot profiles
+// ---------------------------------------------------------------------------
+
+/// A language-runtime boot profile in page/millisecond magnitudes — the
+/// shape `seuss-unikernel`'s `UcProfile` calibrates (boot writes, runtime
+/// init, driver init). Tests map these into their crate's own types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BootProfile {
+    /// Pages written by kernel + libc boot.
+    pub boot_pages: u64,
+    /// Pages the interpreter commits before any script runs.
+    pub runtime_init_pages: u64,
+    /// Pages the invocation driver writes while starting.
+    pub driver_pages: u64,
+    /// Virtual boot time in milliseconds.
+    pub boot_ms: u64,
+}
+
+/// Boot profiles spanning tiny test runtimes up to Node.js-scale images.
+pub fn boot_profiles() -> BootProfileGen {
+    BootProfileGen {
+        fields: (
+            range(1u64, 16_384),
+            range(0u64, 8_192),
+            range(0u64, 1_024),
+            range(1u64, 2_000),
+        ),
+    }
+}
+
+/// See [`boot_profiles`].
+pub struct BootProfileGen {
+    fields: (IntGen<u64>, IntGen<u64>, IntGen<u64>, IntGen<u64>),
+}
+
+impl Gen for BootProfileGen {
+    type Value = BootProfile;
+
+    fn generate(&self, rng: &mut SimRng) -> BootProfile {
+        let (boot_pages, runtime_init_pages, driver_pages, boot_ms) = self.fields.generate(rng);
+        BootProfile {
+            boot_pages,
+            runtime_init_pages,
+            driver_pages,
+            boot_ms,
+        }
+    }
+
+    fn shrink(&self, value: &BootProfile) -> Vec<BootProfile> {
+        let tuple = (
+            value.boot_pages,
+            value.runtime_init_pages,
+            value.driver_pages,
+            value.boot_ms,
+        );
+        self.fields
+            .shrink(&tuple)
+            .into_iter()
+            .map(
+                |(boot_pages, runtime_init_pages, driver_pages, boot_ms)| BootProfile {
+                    boot_pages,
+                    runtime_init_pages,
+                    driver_pages,
+                    boot_ms,
+                },
+            )
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Burst traces
+// ---------------------------------------------------------------------------
+
+/// One open-loop arrival in a burst trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time in virtual milliseconds (non-decreasing in a trace).
+    pub at_ms: u64,
+    /// Target function id.
+    pub fn_id: u64,
+}
+
+/// Open-loop burst traces: up to `max_len` arrivals over `fns` distinct
+/// functions, inter-arrival gaps up to `max_gap_ms`, sorted by time.
+/// Shrinks by dropping arrivals and pulling times/function ids down.
+pub fn burst_traces(max_len: usize, fns: u64, max_gap_ms: u64) -> BurstTraceGen {
+    assert!(fns > 0, "burst_traces requires at least one function");
+    BurstTraceGen {
+        gaps: vecs((range(0u64, max_gap_ms), range(0u64, fns - 1)), 0, max_len),
+    }
+}
+
+/// See [`burst_traces`].
+pub struct BurstTraceGen {
+    gaps: VecGen<(IntGen<u64>, IntGen<u64>)>,
+}
+
+impl BurstTraceGen {
+    fn to_arrivals(gaps: Vec<(u64, u64)>) -> Vec<Arrival> {
+        let mut t = 0u64;
+        gaps.into_iter()
+            .map(|(gap, fn_id)| {
+                t += gap;
+                Arrival { at_ms: t, fn_id }
+            })
+            .collect()
+    }
+
+    fn to_gaps(arrivals: &[Arrival]) -> Vec<(u64, u64)> {
+        let mut prev = 0u64;
+        arrivals
+            .iter()
+            .map(|a| {
+                let gap = a.at_ms - prev;
+                prev = a.at_ms;
+                (gap, a.fn_id)
+            })
+            .collect()
+    }
+}
+
+impl Gen for BurstTraceGen {
+    type Value = Vec<Arrival>;
+
+    fn generate(&self, rng: &mut SimRng) -> Vec<Arrival> {
+        Self::to_arrivals(self.gaps.generate(rng))
+    }
+
+    fn shrink(&self, value: &Vec<Arrival>) -> Vec<Vec<Arrival>> {
+        self.gaps
+            .shrink(&Self::to_gaps(value))
+            .into_iter()
+            .map(Self::to_arrivals)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addrs_are_page_aligned_and_bounded() {
+        let g = virt_addrs(0x10_0000, 64);
+        let mut rng = SimRng::new(5);
+        for _ in 0..500 {
+            let va = g.generate(&mut rng);
+            assert_eq!(va.as_u64() % PAGE_SIZE as u64, 0);
+            assert!(va.as_u64() >= 0x10_0000);
+            assert!(va.as_u64() < 0x10_0000 + 64 * PAGE_SIZE as u64);
+        }
+        // Shrinks toward the region base.
+        let far = VirtAddr::new(0x10_0000 + 63 * PAGE_SIZE as u64);
+        assert_eq!(g.shrink(&far)[0], VirtAddr::new(0x10_0000));
+    }
+
+    #[test]
+    fn regions_stay_in_spec() {
+        let g = regions(0x40_0000, 512);
+        let mut rng = SimRng::new(6);
+        for _ in 0..200 {
+            let r = g.generate(&mut rng);
+            assert!(r.pages >= 1 && r.pages <= 512);
+            assert_eq!(r.start.as_u64(), 0x40_0000);
+        }
+        let big = Region {
+            start: VirtAddr::new(0x40_0000),
+            pages: 512,
+            kind: RegionKind::Io,
+            writable: false,
+            demand_zero: false,
+        };
+        let shrunk = g.shrink(&big);
+        assert!(shrunk.iter().any(|r| r.pages == 1));
+        assert!(shrunk.iter().any(|r| r.kind == RegionKind::Heap));
+    }
+
+    #[test]
+    fn burst_traces_are_sorted_and_shrink_shorter() {
+        let g = burst_traces(40, 8, 500);
+        let mut rng = SimRng::new(7);
+        for _ in 0..100 {
+            let t = g.generate(&mut rng);
+            assert!(t.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+            assert!(t.iter().all(|a| a.fn_id < 8));
+        }
+        let t = g.generate(&mut SimRng::new(1234));
+        if t.len() > 1 {
+            let cands = g.shrink(&t);
+            assert!(cands.iter().any(|c| c.len() < t.len()));
+            // Shrunk traces stay sorted.
+            assert!(cands
+                .iter()
+                .all(|c| c.windows(2).all(|w| w[0].at_ms <= w[1].at_ms)));
+        }
+    }
+
+    #[test]
+    fn boot_profiles_shrink_fieldwise() {
+        let g = boot_profiles();
+        let p = BootProfile {
+            boot_pages: 1000,
+            runtime_init_pages: 500,
+            driver_pages: 100,
+            boot_ms: 900,
+        };
+        let cands = g.shrink(&p);
+        assert!(cands.iter().any(|c| c.boot_pages < 1000));
+        assert!(cands.iter().any(|c| c.runtime_init_pages == 0));
+    }
+}

@@ -304,10 +304,12 @@ impl ObjStore {
         let mut bytes = 0u64;
         for idx in 0..self.objs.len() {
             let (cap, values): (u64, Vec<Value>) = match &self.objs[idx] {
-                ObjData::Object { props, cap_slots, .. } => {
-                    (*cap_slots, props.values().copied().collect())
-                }
-                ObjData::Array { items, cap_slots, .. } => (*cap_slots, items.clone()),
+                ObjData::Object {
+                    props, cap_slots, ..
+                } => (*cap_slots, props.values().copied().collect()),
+                ObjData::Array {
+                    items, cap_slots, ..
+                } => (*cap_slots, items.clone()),
             };
             let new_backing = heap.alloc(cap * SLOT_BYTES)?;
             for (slot, v) in values.iter().enumerate() {

@@ -397,10 +397,7 @@ impl Interpreter {
     /// Runs a moving-GC compaction pass: every live object's backing
     /// store relocates to fresh pages. Returns `(objects moved, bytes
     /// rewritten)`. See `ObjStore::compact` for why this matters to COW.
-    pub fn run_gc(
-        &mut self,
-        backend: &mut dyn HeapBackend,
-    ) -> Result<(u64, u64), RuntimeError> {
+    pub fn run_gc(&mut self, backend: &mut dyn HeapBackend) -> Result<(u64, u64), RuntimeError> {
         let r = self.objects.compact(&mut self.heap, backend)?;
         // Copying costs cycles proportional to bytes moved.
         self.cycles += r.1 / 8;

@@ -1,4 +1,4 @@
-//! Property tests on the interpreter:
+//! Property tests on the interpreter (driven by `seuss-check`):
 //!
 //! 1. generated arithmetic expression trees evaluate to the same value a
 //!    host-side reference evaluator computes;
@@ -6,12 +6,12 @@
 //! 3. fuel-sliced execution produces the same result as one-shot
 //!    execution (resumability is semantics-preserving).
 
-use proptest::prelude::*;
+use seuss_check::{check_with, ensure, ensure_eq, gen::Gen, Config, SimRng};
 
 use miniscript::{HostHeap, Interpreter, RuntimeProfile, Value, VmExit};
 
 /// Host-side reference AST mirroring the generated expression.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum E {
     Num(i32),
     Add(Box<E>, Box<E>),
@@ -45,15 +45,45 @@ impl E {
     }
 }
 
-fn expr() -> impl Strategy<Value = E> {
-    let leaf = (-100i32..100).prop_map(E::Num);
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Bounded-depth recursive expression generator. Shrinking replaces a
+/// node by its subtrees (and numbers by smaller numbers), so failing
+/// expressions minimize toward a single literal.
+struct ExprGen {
+    max_depth: u32,
+}
+
+impl ExprGen {
+    fn gen_at(&self, depth: u32, rng: &mut SimRng) -> E {
+        // Bias toward leaves as depth grows so trees stay small.
+        if depth >= self.max_depth || rng.next_below(3) == 0 {
+            return E::Num(rng.next_below(200) as i32 - 100);
+        }
+        let a = Box::new(self.gen_at(depth + 1, rng));
+        let b = Box::new(self.gen_at(depth + 1, rng));
+        match rng.next_below(3) {
+            0 => E::Add(a, b),
+            1 => E::Sub(a, b),
+            _ => E::Mul(a, b),
+        }
+    }
+}
+
+impl Gen for ExprGen {
+    type Value = E;
+
+    fn generate(&self, rng: &mut SimRng) -> E {
+        self.gen_at(0, rng)
+    }
+
+    fn shrink(&self, value: &E) -> Vec<E> {
+        match value {
+            E::Num(0) => Vec::new(),
+            E::Num(n) => vec![E::Num(0), E::Num(n / 2)],
+            E::Add(a, b) | E::Sub(a, b) | E::Mul(a, b) => {
+                vec![(**a).clone(), (**b).clone(), E::Num(0)]
+            }
+        }
+    }
 }
 
 fn run_source(src: &str) -> Value {
@@ -66,59 +96,96 @@ fn run_source(src: &str) -> Value {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn arithmetic_matches_reference() {
+    check_with(
+        Config::with_cases(128),
+        "interp_arith_reference",
+        &ExprGen { max_depth: 5 },
+        |e| {
+            let src = format!("{};", e.src());
+            match run_source(&src) {
+                Value::Num(n) => ensure_eq!(n, e.eval()),
+                other => return Err(format!("non-numeric result {other:?}")),
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn arithmetic_matches_reference(e in expr()) {
-        let src = format!("{};", e.src());
-        match run_source(&src) {
-            Value::Num(n) => prop_assert_eq!(n, e.eval()),
-            other => prop_assert!(false, "non-numeric result {:?}", other),
-        }
-    }
+#[test]
+fn lexer_and_parser_never_panic() {
+    // Arbitrary junk (any non-control unicode, like proptest's `\PC`) may
+    // fail to compile, but must fail cleanly.
+    let junk = seuss_check::vecs(seuss_check::range(0x20u32, 0x2_FFFF), 0, 120).map(|points| {
+        points
+            .into_iter()
+            .filter_map(char::from_u32)
+            .filter(|c| !c.is_control())
+            .collect::<String>()
+    });
+    check_with(
+        Config::with_cases(128),
+        "interp_lexer_total",
+        &junk,
+        |src| {
+            let _ = miniscript::compile(src);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lexer_and_parser_never_panic(src in "\\PC{0,120}") {
-        // Arbitrary junk may fail to compile, but must fail cleanly.
-        let _ = miniscript::compile(&src);
-    }
+#[test]
+fn structured_garbage_never_panics() {
+    let tokens = seuss_check::vecs(
+        seuss_check::choice(vec![
+            "let", "function", "return", "if", "else", "while", "(", ")", "{", "}", "+", "-", "*",
+            "/", "==", "x", "y", "1", "2.5", "'s'", ";", ",", "[", "]", ".", "=",
+        ]),
+        0,
+        40,
+    );
+    check_with(
+        Config::with_cases(128),
+        "interp_parser_total",
+        &tokens,
+        |tokens| {
+            let src = tokens.join(" ");
+            let _ = miniscript::compile(&src);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn structured_garbage_never_panics(
-        tokens in prop::collection::vec(
-            prop::sample::select(vec![
-                "let", "function", "return", "if", "else", "while", "(", ")",
-                "{", "}", "+", "-", "*", "/", "==", "x", "y", "1", "2.5",
-                "'s'", ";", ",", "[", "]", ".", "=",
-            ]),
-            0..40,
-        )
-    ) {
-        let src = tokens.join(" ");
-        let _ = miniscript::compile(&src);
-    }
+#[test]
+fn fuel_slicing_preserves_semantics() {
+    let cases = (seuss_check::range(1u32, 59), seuss_check::range(7u64, 199));
+    check_with(
+        Config::with_cases(128),
+        "interp_fuel_slicing",
+        &cases,
+        |&(n, fuel)| {
+            let src =
+                format!("let s = 0; let i = 0; while (i < {n}) {{ s = s + i * i; i = i + 1; }} s;");
+            let oneshot = run_source(&src);
 
-    #[test]
-    fn fuel_slicing_preserves_semantics(n in 1u32..60, fuel in 7u64..200) {
-        let src = format!(
-            "let s = 0; let i = 0; while (i < {n}) {{ s = s + i * i; i = i + 1; }} s;"
-        );
-        let oneshot = run_source(&src);
-
-        let mut backend = HostHeap::with_capacity(8 << 20);
-        let mut interp = Interpreter::new(RuntimeProfile::tiny());
-        let prog = interp.load_source(&mut backend, &src).expect("compile");
-        let mut exit = interp.run_main(&mut backend, prog, fuel).expect("run");
-        let mut rounds = 0u32;
-        while exit == VmExit::OutOfFuel {
-            exit = interp.resume(&mut backend, Value::Null, fuel).expect("resume");
-            rounds += 1;
-            prop_assert!(rounds < 100_000, "diverged");
-        }
-        match exit {
-            VmExit::Done(v) => prop_assert_eq!(v, oneshot),
-            other => prop_assert!(false, "unexpected exit {:?}", other),
-        }
-    }
+            let mut backend = HostHeap::with_capacity(8 << 20);
+            let mut interp = Interpreter::new(RuntimeProfile::tiny());
+            let prog = interp.load_source(&mut backend, &src).expect("compile");
+            let mut exit = interp.run_main(&mut backend, prog, fuel).expect("run");
+            let mut rounds = 0u32;
+            while exit == VmExit::OutOfFuel {
+                exit = interp
+                    .resume(&mut backend, Value::Null, fuel)
+                    .expect("resume");
+                rounds += 1;
+                ensure!(rounds < 100_000, "diverged");
+            }
+            match exit {
+                VmExit::Done(v) => ensure_eq!(v, oneshot),
+                other => return Err(format!("unexpected exit {other:?}")),
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,77 +1,101 @@
-//! Property tests: sparse page content must behave exactly like a dense
-//! 4 KiB byte array under any write/read sequence.
+//! Property tests (driven by `seuss-check`): sparse page content must
+//! behave exactly like a dense 4 KiB byte array under any write/read
+//! sequence.
 
-use proptest::prelude::*;
+use seuss_check::{check_with, ensure_eq, gen::Gen, Config};
 use seuss_mem::{PageContent, PAGE_SIZE};
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 struct WriteOp {
     offset: usize,
     bytes: Vec<u8>,
 }
 
-fn write_op() -> impl Strategy<Value = WriteOp> {
-    (0usize..PAGE_SIZE, 1usize..200).prop_flat_map(|(offset, len)| {
-        let len = len.min(PAGE_SIZE - offset);
-        prop::collection::vec(any::<u8>(), len.max(1))
-            .prop_map(move |bytes| WriteOp { offset, bytes })
-    })
+/// Offset plus 1–200 payload bytes, clamped so the write stays in-page.
+fn write_ops(max_ops: usize) -> impl Gen<Value = Vec<WriteOp>> {
+    let op = (
+        seuss_check::range(0usize, PAGE_SIZE - 1),
+        seuss_check::vecs(seuss_check::range(0u8, 255), 1, 200),
+    )
+        .map(|(offset, mut bytes)| {
+            bytes.truncate((PAGE_SIZE - offset).max(1));
+            WriteOp { offset, bytes }
+        });
+    seuss_check::vecs(op, 0, max_ops)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sparse_matches_dense_reference(ops in prop::collection::vec(write_op(), 0..40)) {
-        let mut content = PageContent::Zero;
-        let mut reference = vec![0u8; PAGE_SIZE];
-        for op in &ops {
-            content.write(op.offset, &op.bytes);
-            reference[op.offset..op.offset + op.bytes.len()].copy_from_slice(&op.bytes);
-        }
-        // Full-page read matches.
-        let mut full = vec![0u8; PAGE_SIZE];
-        content.read(0, &mut full);
-        prop_assert_eq!(&full, &reference);
+fn apply(ops: &[WriteOp]) -> (PageContent, Vec<u8>) {
+    let mut content = PageContent::Zero;
+    let mut reference = vec![0u8; PAGE_SIZE];
+    for op in ops {
+        content.write(op.offset, &op.bytes);
+        reference[op.offset..op.offset + op.bytes.len()].copy_from_slice(&op.bytes);
     }
+    (content, reference)
+}
 
-    #[test]
-    fn partial_reads_match_reference(
-        ops in prop::collection::vec(write_op(), 0..20),
-        read_offset in 0usize..PAGE_SIZE,
-        read_len in 1usize..300,
-    ) {
-        let read_len = read_len.min(PAGE_SIZE - read_offset).max(1);
-        let mut content = PageContent::Zero;
-        let mut reference = vec![0u8; PAGE_SIZE];
-        for op in &ops {
-            content.write(op.offset, &op.bytes);
-            reference[op.offset..op.offset + op.bytes.len()].copy_from_slice(&op.bytes);
-        }
-        let mut out = vec![0u8; read_len];
-        content.read(read_offset, &mut out);
-        prop_assert_eq!(&out[..], &reference[read_offset..read_offset + read_len]);
-    }
+#[test]
+fn sparse_matches_dense_reference() {
+    check_with(
+        Config::with_cases(64),
+        "content_dense_equiv",
+        &write_ops(40),
+        |ops| {
+            let (content, reference) = apply(ops);
+            let mut full = vec![0u8; PAGE_SIZE];
+            content.read(0, &mut full);
+            ensure_eq!(&full, &reference);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn clone_is_snapshot_isolated(
-        ops_a in prop::collection::vec(write_op(), 1..12),
-        ops_b in prop::collection::vec(write_op(), 1..12),
-    ) {
-        let mut a = PageContent::Zero;
-        for op in &ops_a {
-            a.write(op.offset, &op.bytes);
-        }
-        let frozen = a.clone();
-        let mut want = vec![0u8; PAGE_SIZE];
-        frozen.read(0, &mut want);
-        // Mutating the original must not affect the clone (COW semantics
-        // rely on this).
-        for op in &ops_b {
-            a.write(op.offset, &op.bytes);
-        }
-        let mut got = vec![0u8; PAGE_SIZE];
-        frozen.read(0, &mut got);
-        prop_assert_eq!(got, want);
-    }
+#[test]
+fn partial_reads_match_reference() {
+    let cases = (
+        write_ops(20),
+        seuss_check::range(0usize, PAGE_SIZE - 1),
+        seuss_check::range(1usize, 300),
+    );
+    check_with(
+        Config::with_cases(64),
+        "content_partial_reads",
+        &cases,
+        |&(ref ops, read_offset, read_len)| {
+            let read_len = read_len.min(PAGE_SIZE - read_offset).max(1);
+            let (content, reference) = apply(ops);
+            let mut out = vec![0u8; read_len];
+            content.read(read_offset, &mut out);
+            ensure_eq!(&out[..], &reference[read_offset..read_offset + read_len]);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn clone_is_snapshot_isolated() {
+    let cases = (write_ops(12), write_ops(12));
+    check_with(
+        Config::with_cases(64),
+        "content_clone_isolated",
+        &cases,
+        |(ops_a, ops_b)| {
+            let mut a = PageContent::Zero;
+            for op in ops_a {
+                a.write(op.offset, &op.bytes);
+            }
+            let frozen = a.clone();
+            let mut want = vec![0u8; PAGE_SIZE];
+            frozen.read(0, &mut want);
+            // Mutating the original must not affect the clone (COW
+            // semantics rely on this).
+            for op in ops_b {
+                a.write(op.offset, &op.bytes);
+            }
+            let mut got = vec![0u8; PAGE_SIZE];
+            frozen.read(0, &mut got);
+            ensure_eq!(got, want);
+            Ok(())
+        },
+    );
 }

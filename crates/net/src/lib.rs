@@ -33,6 +33,6 @@ pub mod tcp;
 
 pub use bridge::{Bridge, BridgeError};
 pub use external::ExternalServer;
-pub use packet::{Packet, PacketKind};
+pub use packet::{Packet, PacketKind, Payload};
 pub use proxy::{NetProxy, ProxyError, UcEndpoint};
 pub use tcp::{TcpConn, TcpCostModel, TcpState};

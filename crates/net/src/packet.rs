@@ -1,6 +1,72 @@
 //! Packet representation for the simulated networks.
 
-use bytes::Bytes;
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable byte buffer — the thin in-tree stand-in
+/// for `bytes::Bytes`. Cloning bumps a refcount; the payload itself is
+/// never copied, so fan-out through the bridge and proxy stays O(1) per
+/// hop regardless of payload size.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// An empty payload (no allocation).
+    pub fn new() -> Self {
+        Payload(Arc::from(&[][..]))
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The underlying bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload(Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Self {
+        Payload(Arc::from(&v[..]))
+    }
+}
+
+impl From<&str> for Payload {
+    fn from(v: &str) -> Self {
+        Payload(Arc::from(v.as_bytes()))
+    }
+}
+
+impl From<String> for Payload {
+    fn from(v: String) -> Self {
+        Payload(Arc::from(v.into_bytes()))
+    }
+}
 
 /// Packet classification (what the proxy and bridge need to know).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,7 +97,7 @@ pub struct Packet {
     /// Destination TCP port (0 for broadcast).
     pub dst_port: u16,
     /// Payload bytes (may be empty for control packets).
-    pub payload: Bytes,
+    pub payload: Payload,
 }
 
 impl Packet {
@@ -41,12 +107,12 @@ impl Packet {
             kind: PacketKind::TcpSyn,
             src_port,
             dst_port,
-            payload: Bytes::new(),
+            payload: Payload::new(),
         }
     }
 
     /// A data segment.
-    pub fn data(src_port: u16, dst_port: u16, payload: impl Into<Bytes>) -> Self {
+    pub fn data(src_port: u16, dst_port: u16, payload: impl Into<Payload>) -> Self {
         Packet {
             kind: PacketKind::TcpData,
             src_port,
@@ -61,12 +127,12 @@ impl Packet {
             kind: PacketKind::Broadcast,
             src_port: 0,
             dst_port: 0,
-            payload: Bytes::new(),
+            payload: Payload::new(),
         }
     }
 
     /// A UDP datagram.
-    pub fn udp(src_port: u16, dst_port: u16, payload: impl Into<Bytes>) -> Self {
+    pub fn udp(src_port: u16, dst_port: u16, payload: impl Into<Payload>) -> Self {
         Packet {
             kind: PacketKind::Udp,
             src_port,
@@ -99,5 +165,25 @@ mod tests {
     fn wire_bytes_includes_headers() {
         assert_eq!(Packet::syn(1, 2).wire_bytes(), 54);
         assert_eq!(Packet::data(1, 2, vec![0u8; 100]).wire_bytes(), 154);
+    }
+
+    #[test]
+    fn payload_clones_share_storage() {
+        let p: Payload = vec![7u8; 4096].into();
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert!(
+            std::ptr::eq(p.as_slice(), q.as_slice()),
+            "clone must not copy"
+        );
+        assert_eq!(&q[..4], &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn payload_conversions() {
+        assert_eq!(Payload::from("abc").len(), 3);
+        assert_eq!(Payload::from(String::from("de")).as_slice(), b"de");
+        assert!(Payload::new().is_empty());
+        assert_eq!(Payload::from(b"xyz").len(), 3);
     }
 }

@@ -1,69 +1,93 @@
-//! Property tests on the NAT proxy: port uniqueness and routing
-//! consistency under arbitrary register/unregister interleavings.
+//! Property tests on the NAT proxy (driven by `seuss-check`): port
+//! uniqueness and routing consistency under arbitrary
+//! register/unregister interleavings.
 
-use proptest::prelude::*;
+use seuss_check::{check_with, ensure, ensure_eq, gen::Gen, Config};
 use seuss_net::{NetProxy, Packet, UcEndpoint};
 use std::collections::HashMap;
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum Op {
     Register(u32),
     Unregister(u32),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..200).prop_map(Op::Register),
-        (0u32..200).prop_map(Op::Unregister),
-    ]
+fn ops(max_len: usize) -> impl Gen<Value = Vec<Op>> {
+    let register = seuss_check::range(0u32, 199).map(Op::Register);
+    let unregister = seuss_check::range(0u32, 199).map(Op::Unregister);
+    seuss_check::vecs(
+        seuss_check::one_of(vec![register.boxed(), unregister.boxed()]),
+        1,
+        max_len,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn routing_always_matches_a_reference_model(ops in prop::collection::vec(op(), 1..200)) {
-        let mut proxy = NetProxy::new();
-        let mut model: HashMap<u32, u16> = HashMap::new();
-        for op in ops {
-            match op {
-                Op::Register(uc) => {
-                    if model.contains_key(&uc) {
-                        continue; // model one registration per UC
+#[test]
+fn routing_always_matches_a_reference_model() {
+    check_with(
+        Config::with_cases(64),
+        "proxy_reference_model",
+        &ops(200),
+        |ops| {
+            let mut proxy = NetProxy::new();
+            let mut model: HashMap<u32, u16> = HashMap::new();
+            for op in ops {
+                match *op {
+                    Op::Register(uc) => {
+                        if model.contains_key(&uc) {
+                            continue; // model one registration per UC
+                        }
+                        let port = proxy
+                            .register(UcEndpoint {
+                                core: (uc % 16) as u16,
+                                uc,
+                            })
+                            .expect("space");
+                        // Port must be unique among live mappings.
+                        ensure!(
+                            !model.values().any(|&p| p == port),
+                            "port {port} reused while live"
+                        );
+                        model.insert(uc, port);
                     }
-                    let port = proxy.register(UcEndpoint { core: (uc % 16) as u16, uc }).expect("space");
-                    // Port must be unique among live mappings.
-                    prop_assert!(!model.values().any(|&p| p == port));
-                    model.insert(uc, port);
+                    Op::Unregister(uc) => {
+                        let had = model.remove(&uc).is_some();
+                        ensure_eq!(proxy.unregister(uc), had);
+                    }
                 }
-                Op::Unregister(uc) => {
-                    let had = model.remove(&uc).is_some();
-                    prop_assert_eq!(proxy.unregister(uc), had);
-                }
+                ensure_eq!(proxy.active(), model.len());
             }
-            prop_assert_eq!(proxy.active(), model.len());
-        }
-        // Every live mapping routes to its UC; every dead port doesn't.
-        for (&uc, &port) in &model {
-            let ep = proxy.route_in(&Packet::syn(50_000, port)).expect("route");
-            prop_assert_eq!(ep.uc, uc);
-            prop_assert_eq!(proxy.port_of(uc), Some(port));
-        }
-    }
+            // Every live mapping routes to its UC; every dead port doesn't.
+            for (&uc, &port) in &model {
+                let ep = proxy.route_in(&Packet::syn(50_000, port)).expect("route");
+                ensure_eq!(ep.uc, uc);
+                ensure_eq!(proxy.port_of(uc), Some(port));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn masquerade_uses_the_registered_port(ucs in prop::collection::vec(0u32..500, 1..40)) {
-        let mut proxy = NetProxy::new();
-        let mut seen = std::collections::HashSet::new();
-        for uc in ucs {
-            if !seen.insert(uc) {
-                continue;
+#[test]
+fn masquerade_uses_the_registered_port() {
+    check_with(
+        Config::with_cases(64),
+        "proxy_masquerade_port",
+        &seuss_check::vecs(seuss_check::range(0u32, 499), 1, 40),
+        |ucs| {
+            let mut proxy = NetProxy::new();
+            let mut seen = std::collections::HashSet::new();
+            for &uc in ucs {
+                if !seen.insert(uc) {
+                    continue;
+                }
+                let port = proxy.register(UcEndpoint { core: 0, uc }).expect("space");
+                let out = proxy
+                    .masquerade_out(uc, Packet::data(8080, 443, &b"x"[..]))
+                    .expect("masquerade");
+                ensure_eq!(out.src_port, port);
             }
-            let port = proxy.register(UcEndpoint { core: 0, uc }).expect("space");
-            let out = proxy
-                .masquerade_out(uc, Packet::data(8080, 443, &b"x"[..]))
-                .expect("masquerade");
-            prop_assert_eq!(out.src_port, port);
-        }
-    }
+            Ok(())
+        },
+    );
 }

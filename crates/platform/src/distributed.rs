@@ -310,7 +310,9 @@ mod tests {
         // Node 0 is out of the index; peers can serve without it.
         for f in 1..4u64 {
             assert!(!cluster.holders(f).contains(&0));
-            let (p, _, _) = cluster.invoke_at(cluster.holders(f)[0], f, NOP, &[]).expect("serve");
+            let (p, _, _) = cluster
+                .invoke_at(cluster.holders(f)[0], f, NOP, &[])
+                .expect("serve");
             assert!(matches!(p, DrPath::LocalWarm | DrPath::LocalHot), "{p:?}");
         }
     }

@@ -28,5 +28,5 @@ pub mod spec;
 pub use cluster::{run_trial, BackendKind, Cluster, ClusterConfig, TrialOutput};
 pub use cores::CorePool;
 pub use distributed::{DrPath, DrSeussCluster, DrStats};
-pub use record::{RequestRecord, RequestStatus, ServedBy, TrialAnalysis};
+pub use record::{records_jsonl, RequestRecord, RequestStatus, ServedBy, TrialAnalysis};
 pub use spec::{FnKind, FnSpec, Registry, WorkloadSpec};

@@ -1,12 +1,11 @@
 //! Per-request records and trial analysis.
 
-use serde::Serialize;
 use simcore::{Histogram, PercentileSummary, SimDuration, SimTime};
 
 use crate::spec::FnId;
 
 /// How a request ended.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RequestStatus {
     /// Completed successfully.
     Ok,
@@ -16,7 +15,7 @@ pub enum RequestStatus {
 
 /// The deployment path a request was served by (None for errors or the
 /// Linux backend's stemcell path, which reports `Stemcell`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServedBy {
     /// SEUSS cold / Linux fresh-container path.
     Cold,
@@ -31,7 +30,7 @@ pub enum ServedBy {
 }
 
 /// One request's outcome.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct RequestRecord {
     /// Function invoked.
     pub fn_id: FnId,
@@ -45,6 +44,58 @@ pub struct RequestRecord {
     pub served_by: ServedBy,
     /// Whether this was an open-loop (burst) arrival.
     pub burst: bool,
+}
+
+impl RequestStatus {
+    /// Stable lowercase name for serialized output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RequestStatus::Ok => "ok",
+            RequestStatus::Error => "error",
+        }
+    }
+}
+
+impl ServedBy {
+    /// Stable lowercase name for serialized output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServedBy::Cold => "cold",
+            ServedBy::Warm => "warm",
+            ServedBy::Hot => "hot",
+            ServedBy::Stemcell => "stemcell",
+            ServedBy::None => "none",
+        }
+    }
+}
+
+impl RequestRecord {
+    /// One hand-rolled JSON object per record (the same writer pattern
+    /// `miniscript`'s `json()` builtin uses — no derive machinery). All
+    /// fields are numbers, booleans, or the fixed enum names above, so no
+    /// string escaping is needed.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"fn\":{},\"sent_s\":{:.6},\"latency_ms\":{:.6},\"status\":\"{}\",\"served_by\":\"{}\",\"burst\":{}}}",
+            self.fn_id,
+            self.sent_at_s,
+            self.latency_ms,
+            self.status.as_str(),
+            self.served_by.as_str(),
+            self.burst
+        )
+    }
+}
+
+/// Dumps records as newline-delimited JSON (one object per line), the
+/// machine-readable sibling of `records_csv`.
+pub fn records_jsonl(records: &[RequestRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
 }
 
 /// Aggregated trial results.
@@ -182,5 +233,20 @@ mod tests {
         let a = TrialAnalysis::from_records(&[]);
         assert_eq!(a.completed, 0);
         assert_eq!(a.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn json_lines_are_stable_and_parseable_shaped() {
+        let r = rec(1.25, 42.5, true);
+        let j = r.to_json();
+        assert_eq!(
+            j,
+            "{\"fn\":0,\"sent_s\":1.250000,\"latency_ms\":42.500000,\
+             \"status\":\"ok\",\"served_by\":\"hot\",\"burst\":false}"
+        );
+        let all = records_jsonl(&[r, rec(2.0, 10.0, false)]);
+        assert_eq!(all.lines().count(), 2);
+        assert!(all.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(all.contains("\"status\":\"error\""));
     }
 }

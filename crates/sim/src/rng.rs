@@ -2,9 +2,11 @@
 //!
 //! This is `xoshiro256**` seeded through SplitMix64 — the standard
 //! recommendation for simulation workloads. We implement it locally (≈50
-//! lines) instead of pulling `rand` into every mechanism crate, keeping the
-//! bottom of the dependency graph free of external crates. The `rand` crate
-//! is still used where distributions matter (workload generation).
+//! lines) instead of pulling `rand` into the workspace, keeping the whole
+//! dependency graph free of external crates. The distributions the
+//! workload generators need (exponential inter-arrivals, [`Zipf`]
+//! popularity skew) live here too, so `seuss-workload` and `seuss-check`
+//! share one deterministic randomness source.
 
 /// Deterministic pseudo-random number generator (`xoshiro256**`).
 #[derive(Clone, Debug)]
@@ -91,6 +93,11 @@ impl SimRng {
         -mean * u.ln()
     }
 
+    /// Samples a rank from `zipf` (see [`Zipf`]).
+    pub fn zipf(&mut self, dist: &Zipf) -> u64 {
+        dist.sample(self)
+    }
+
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         let n = items.len();
@@ -101,6 +108,53 @@ impl SimRng {
             let j = self.next_below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
+    }
+}
+
+/// A Zipf(α) distribution over ranks `0..n`: `P(rank k) ∝ 1/(k+1)^α` —
+/// the popularity skew real FaaS platforms observe. Sampling is
+/// inverse-CDF over precomputed cumulative weights (O(log n) per draw),
+/// so building once and sampling many times is the intended use.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `alpha`
+    /// (0 = uniform; ≈1 is typical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is not finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one rank");
+        assert!(alpha.is_finite(), "Zipf requires a finite exponent");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Always false: the constructor rejects empty distributions.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.next_f64();
+        (self.cdf.partition_point(|&c| c < u) as u64).min(self.len() - 1)
     }
 }
 
@@ -174,6 +228,35 @@ mod tests {
         let sum: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
         let mean = sum / n as f64;
         assert!((4.5..5.5).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let dist = Zipf::new(100, 1.0);
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(11);
+        let draws: Vec<u64> = (0..10_000).map(|_| dist.sample(&mut a)).collect();
+        assert_eq!(
+            draws,
+            (0..10_000).map(|_| dist.sample(&mut b)).collect::<Vec<_>>()
+        );
+        assert!(draws.iter().all(|&r| r < 100));
+        // With alpha=1 over 100 ranks, rank 0 draws ~1/H(100) ≈ 19%.
+        let top = draws.iter().filter(|&&r| r == 0).count() as f64 / 10_000.0;
+        assert!((0.14..0.26).contains(&top), "rank-0 share {top}");
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let dist = Zipf::new(50, 0.0);
+        let mut rng = SimRng::new(23);
+        let mut counts = [0u32; 50];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((120..290).contains(&c), "uniform bucket {c}");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Property tests on the event engine: delivery order, cancellation, and
-//! determinism under arbitrary schedules.
+//! Property tests on the event engine (driven by `seuss-check`):
+//! delivery order, cancellation, and determinism under arbitrary
+//! schedules.
 
-use proptest::prelude::*;
+use seuss_check::{check_with, ensure, ensure_eq, Config};
 use simcore::{Scheduler, SimTime, Simulation, World};
 
 #[derive(Default)]
@@ -37,97 +38,157 @@ impl World for Recorder {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn delivery_times_never_decrease(times in prop::collection::vec(0u64..10_000, 1..100)) {
-        let mut sim = Simulation::new(Recorder::default());
-        for (i, &t) in times.iter().enumerate() {
-            sim.schedule_at(SimTime::from_nanos(t), Ev::Tag(i as u32));
-        }
-        sim.run();
-        let d = &sim.world().delivered;
-        prop_assert_eq!(d.len(), times.len());
-        for w in d.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
-        }
-    }
-
-    #[test]
-    fn equal_times_deliver_in_schedule_order(n in 2u32..50) {
-        let mut sim = Simulation::new(Recorder::default());
-        for i in 0..n {
-            sim.schedule_at(SimTime::from_nanos(42), Ev::Tag(i));
-        }
-        sim.run();
-        let tags: Vec<u32> = sim.world().delivered.iter().map(|&(_, t)| t).collect();
-        prop_assert_eq!(tags, (0..n).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn cancelled_events_never_fire(
-        times in prop::collection::vec(0u64..1_000, 2..60),
-        cancel_mask in prop::collection::vec(any::<bool>(), 2..60),
-    ) {
-        let mut sim = Simulation::new(Recorder::default());
-        let mut expected = Vec::new();
-        let ids: Vec<_> = times
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (i as u32, sim.schedule_at(SimTime::from_nanos(t), Ev::Tag(i as u32))))
-            .collect();
-        for ((tag, id), &cancel) in ids.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
-            if cancel {
-                sim.cancel(*id);
-            } else {
-                expected.push(*tag);
-            }
-        }
-        sim.run();
-        let mut got: Vec<u32> = sim.world().delivered.iter().map(|&(_, t)| t).collect();
-        got.sort_unstable();
-        expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
-
-    #[test]
-    fn cascading_schedules_advance_monotonically(spawns in prop::collection::vec((0u32..8, 1u64..50), 1..12)) {
-        let mut sim = Simulation::new(Recorder::default());
-        for (i, &(n, gap)) in spawns.iter().enumerate() {
-            sim.schedule_at(
-                SimTime::from_nanos(i as u64 * 7),
-                Ev::Spawn { base: 1000 * i as u32, n, gap },
-            );
-        }
-        sim.run();
-        for w in sim.world().delivered.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
-        }
-        let total: u32 = spawns.iter().map(|&(n, _)| n).sum();
-        prop_assert_eq!(sim.world().delivered.len(), total as usize);
-    }
-
-    #[test]
-    fn run_until_is_a_prefix_of_run(times in prop::collection::vec(0u64..1_000, 1..60), horizon in 0u64..1_000) {
-        let build = |times: &[u64]| {
+#[test]
+fn delivery_times_never_decrease() {
+    check_with(
+        Config::with_cases(64),
+        "sim_monotone_delivery",
+        &seuss_check::vecs(seuss_check::range(0u64, 9_999), 1, 99),
+        |times| {
             let mut sim = Simulation::new(Recorder::default());
             for (i, &t) in times.iter().enumerate() {
                 sim.schedule_at(SimTime::from_nanos(t), Ev::Tag(i as u32));
             }
-            sim
-        };
-        let mut whole = build(&times);
-        whole.run();
-        let mut partial = build(&times);
-        partial.run_until(SimTime::from_nanos(horizon));
-        let full = &whole.world().delivered;
-        let pre = &partial.world().delivered;
-        prop_assert!(pre.len() <= full.len());
-        prop_assert_eq!(&full[..pre.len()], &pre[..]);
-        prop_assert!(pre.iter().all(|&(t, _)| t <= horizon));
-        // Finishing the partial run yields the same trace.
-        partial.run();
-        prop_assert_eq!(&partial.world().delivered, full);
-    }
+            sim.run();
+            let d = &sim.world().delivered;
+            ensure_eq!(d.len(), times.len());
+            for w in d.windows(2) {
+                ensure!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn equal_times_deliver_in_schedule_order() {
+    check_with(
+        Config::with_cases(64),
+        "sim_fifo_ties",
+        &seuss_check::range(2u32, 49),
+        |&n| {
+            let mut sim = Simulation::new(Recorder::default());
+            for i in 0..n {
+                sim.schedule_at(SimTime::from_nanos(42), Ev::Tag(i));
+            }
+            sim.run();
+            let tags: Vec<u32> = sim.world().delivered.iter().map(|&(_, t)| t).collect();
+            ensure_eq!(tags, (0..n).collect::<Vec<_>>());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn cancelled_events_never_fire() {
+    let cases = (
+        seuss_check::vecs(seuss_check::range(0u64, 999), 2, 59),
+        seuss_check::vecs(seuss_check::bools(), 2, 59),
+    );
+    check_with(
+        Config::with_cases(64),
+        "sim_cancel_exact",
+        &cases,
+        |(times, cancel_mask)| {
+            let mut sim = Simulation::new(Recorder::default());
+            let mut expected = Vec::new();
+            let ids: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    (
+                        i as u32,
+                        sim.schedule_at(SimTime::from_nanos(t), Ev::Tag(i as u32)),
+                    )
+                })
+                .collect();
+            for ((tag, id), &cancel) in ids
+                .iter()
+                .zip(cancel_mask.iter().chain(std::iter::repeat(&false)))
+            {
+                if cancel {
+                    sim.cancel(*id);
+                } else {
+                    expected.push(*tag);
+                }
+            }
+            sim.run();
+            let mut got: Vec<u32> = sim.world().delivered.iter().map(|&(_, t)| t).collect();
+            got.sort_unstable();
+            expected.sort_unstable();
+            ensure_eq!(got, expected);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn cascading_schedules_advance_monotonically() {
+    check_with(
+        Config::with_cases(64),
+        "sim_cascade_monotone",
+        &seuss_check::vecs(
+            (seuss_check::range(0u32, 7), seuss_check::range(1u64, 49)),
+            1,
+            11,
+        ),
+        |spawns| {
+            let mut sim = Simulation::new(Recorder::default());
+            for (i, &(n, gap)) in spawns.iter().enumerate() {
+                sim.schedule_at(
+                    SimTime::from_nanos(i as u64 * 7),
+                    Ev::Spawn {
+                        base: 1000 * i as u32,
+                        n,
+                        gap,
+                    },
+                );
+            }
+            sim.run();
+            for w in sim.world().delivered.windows(2) {
+                ensure!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+            }
+            let total: u32 = spawns.iter().map(|&(n, _)| n).sum();
+            ensure_eq!(sim.world().delivered.len(), total as usize);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn run_until_is_a_prefix_of_run() {
+    let cases = (
+        seuss_check::vecs(seuss_check::range(0u64, 999), 1, 59),
+        seuss_check::range(0u64, 999),
+    );
+    check_with(
+        Config::with_cases(64),
+        "sim_run_until_prefix",
+        &cases,
+        |&(ref times, horizon)| {
+            let build = |times: &[u64]| {
+                let mut sim = Simulation::new(Recorder::default());
+                for (i, &t) in times.iter().enumerate() {
+                    sim.schedule_at(SimTime::from_nanos(t), Ev::Tag(i as u32));
+                }
+                sim
+            };
+            let mut whole = build(times);
+            whole.run();
+            let mut partial = build(times);
+            partial.run_until(SimTime::from_nanos(horizon));
+            let full = &whole.world().delivered;
+            let pre = &partial.world().delivered;
+            ensure!(pre.len() <= full.len(), "partial ran past the full trace");
+            ensure_eq!(&full[..pre.len()], &pre[..]);
+            ensure!(
+                pre.iter().all(|&(t, _)| t <= horizon),
+                "event fired past the horizon"
+            );
+            // Finishing the partial run yields the same trace.
+            partial.run();
+            ensure_eq!(&partial.world().delivered, full);
+            Ok(())
+        },
+    );
 }

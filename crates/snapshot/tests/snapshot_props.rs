@@ -1,11 +1,18 @@
-//! Property tests on snapshot stacks: arbitrary capture/deploy/delete
-//! trees keep frame accounting exact, respect the deletion-safety
-//! policy, and always resolve a deployed UC to its snapshot's bytes.
+//! Property tests on snapshot stacks (driven by `seuss-check`):
+//! arbitrary capture/deploy/delete trees keep frame accounting exact,
+//! respect the deletion-safety policy, always resolve a deployed UC to
+//! its snapshot's bytes, and replaying each stack level's page-level
+//! diff in order reconstructs the deepest snapshot's captured contents.
+//!
+//! The last test is a self-check of the harness itself: a deliberately
+//! violated property over snapshot op-sequences must shrink to the
+//! minimal failing sequence and hand back a replayable seed.
 
-use proptest::prelude::*;
-use seuss_mem::{PhysMemory, VirtAddr, PAGE_SIZE};
+use seuss_check::{check_with, ensure, ensure_eq, gen::Gen, run_check, Config};
+use seuss_mem::{FrameId, PhysMemory, VirtAddr, PAGE_SIZE};
 use seuss_paging::{AddressSpace, Mmu, Region, RegionKind};
 use seuss_snapshot::{RegisterState, SnapshotId, SnapshotKind, SnapshotStore};
+use std::collections::BTreeMap;
 
 const BASE: u64 = 0x40_0000;
 
@@ -41,7 +48,7 @@ fn seeded_space(r: &mut Rig, pages: u64) -> AddressSpace {
     s
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum Act {
     /// Deploy a UC from snapshot `s % live`, write `w` pages, maybe
     /// capture a child, destroy the UC.
@@ -50,67 +57,89 @@ enum Act {
     TryDelete { s: usize },
 }
 
-fn act() -> impl Strategy<Value = Act> {
-    prop_oneof![
-        (0usize..16, 0u64..20, any::<bool>()).prop_map(|(s, w, capture)| Act::DeployWriteCapture {
-            s,
-            w,
-            capture
-        }),
-        (0usize..16).prop_map(|s| Act::TryDelete { s }),
-    ]
+fn acts(max_len: usize) -> impl Gen<Value = Vec<Act>> {
+    let dwc = (
+        seuss_check::range(0usize, 15),
+        seuss_check::range(0u64, 19),
+        seuss_check::bools(),
+    )
+        .map(|(s, w, capture)| Act::DeployWriteCapture { s, w, capture });
+    let del = seuss_check::range(0usize, 15).map(|s| Act::TryDelete { s });
+    seuss_check::vecs(
+        seuss_check::one_of(vec![dwc.boxed(), del.boxed()]),
+        1,
+        max_len,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn run_acts(r: &mut Rig, acts: &[Act]) -> Vec<SnapshotId> {
+    let mut space = seeded_space(r, 30);
+    let base = r
+        .store
+        .capture(
+            &mut r.mmu,
+            &mut r.mem,
+            &mut space,
+            RegisterState::default(),
+            SnapshotKind::Runtime,
+            "base",
+            None,
+        )
+        .expect("base capture");
+    r.mmu.destroy_space(&mut r.mem, space);
+    let mut live: Vec<SnapshotId> = vec![base];
 
-    #[test]
-    fn snapshot_trees_never_leak(acts in prop::collection::vec(act(), 1..25)) {
-        let mut r = rig();
-        let mut space = seeded_space(&mut r, 30);
-        let base = r
-            .store
-            .capture(&mut r.mmu, &mut r.mem, &mut space, RegisterState::default(), SnapshotKind::Runtime, "base", None)
-            .expect("base capture");
-        r.mmu.destroy_space(&mut r.mem, space);
-        let mut live: Vec<SnapshotId> = vec![base];
-
-        for a in acts {
-            match a {
-                Act::DeployWriteCapture { s, w, capture } => {
-                    let parent = live[s % live.len()];
-                    let (mut uc, _) = r
-                        .store
-                        .deploy(&mut r.mmu, &mut r.mem, parent)
-                        .expect("deploy");
-                    for p in 0..w {
-                        let va = VirtAddr::new(BASE + (100 + p) * PAGE_SIZE as u64);
-                        r.mmu
-                            .write_bytes(&mut r.mem, &mut uc, va, &[1])
-                            .expect("write");
-                    }
-                    if capture && live.len() < 16 {
-                        let child = r
-                            .store
-                            .capture(&mut r.mmu, &mut r.mem, &mut uc, RegisterState::default(), SnapshotKind::Function, "f", Some(parent))
-                            .expect("capture");
-                        live.push(child);
-                    }
-                    r.mmu.destroy_space(&mut r.mem, uc);
-                    r.store.release_uc(parent).expect("release");
+    for a in acts {
+        match *a {
+            Act::DeployWriteCapture { s, w, capture } => {
+                let parent = live[s % live.len()];
+                let (mut uc, _) = r
+                    .store
+                    .deploy(&mut r.mmu, &mut r.mem, parent)
+                    .expect("deploy");
+                for p in 0..w {
+                    let va = VirtAddr::new(BASE + (100 + p) * PAGE_SIZE as u64);
+                    r.mmu
+                        .write_bytes(&mut r.mem, &mut uc, va, &[1])
+                        .expect("write");
                 }
-                Act::TryDelete { s } => {
-                    if live.len() > 1 {
-                        let idx = 1 + s % (live.len() - 1); // never the base here
-                        let victim = live[idx];
-                        if r.store.delete(&mut r.mmu, &mut r.mem, victim).is_ok() {
-                            live.remove(idx);
-                        }
+                if capture && live.len() < 16 {
+                    let child = r
+                        .store
+                        .capture(
+                            &mut r.mmu,
+                            &mut r.mem,
+                            &mut uc,
+                            RegisterState::default(),
+                            SnapshotKind::Function,
+                            "f",
+                            Some(parent),
+                        )
+                        .expect("capture");
+                    live.push(child);
+                }
+                r.mmu.destroy_space(&mut r.mem, uc);
+                r.store.release_uc(parent).expect("release");
+            }
+            Act::TryDelete { s } => {
+                if live.len() > 1 {
+                    let idx = 1 + s % (live.len() - 1); // never the base here
+                    let victim = live[idx];
+                    if r.store.delete(&mut r.mmu, &mut r.mem, victim).is_ok() {
+                        live.remove(idx);
                     }
                 }
             }
         }
+    }
+    live
+}
 
+#[test]
+fn snapshot_trees_never_leak() {
+    check_with(Config::with_cases(32), "snap_no_leaks", &acts(24), |acts| {
+        let mut r = rig();
+        let live = run_acts(&mut r, acts);
         // Teardown: children before parents (reverse insertion order works
         // because parents always precede children in `live`).
         for id in live.iter().rev() {
@@ -118,50 +147,240 @@ proptest! {
                 .delete(&mut r.mmu, &mut r.mem, *id)
                 .expect("ordered teardown");
         }
-        prop_assert_eq!(r.mem.stats().used_frames, 0, "leaked frames");
-        prop_assert_eq!(r.mmu.store.live_tables(), 0, "leaked tables");
-    }
+        ensure_eq!(r.mem.stats().used_frames, 0, "leaked frames");
+        ensure_eq!(r.mmu.store.live_tables(), 0, "leaked tables");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn deploys_see_exact_snapshot_bytes(
-        seed_pages in 1u64..40,
-        writes in prop::collection::vec((0u64..40, any::<u8>()), 0..20),
-    ) {
-        let mut r = rig();
-        let mut space = seeded_space(&mut r, seed_pages);
-        for &(p, v) in &writes {
-            let va = VirtAddr::new(BASE + (p % seed_pages) * PAGE_SIZE as u64);
-            r.mmu.write_bytes(&mut r.mem, &mut space, va, &[v]).expect("write");
-        }
-        let snap = r
-            .store
-            .capture(&mut r.mmu, &mut r.mem, &mut space, RegisterState::default(), SnapshotKind::Runtime, "s", None)
-            .expect("capture");
-        // Record expected bytes, then trash the original space.
-        let mut want = Vec::new();
-        for p in 0..seed_pages {
-            let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
-            let mut b = [0u8];
-            r.mmu.read_bytes(&mut r.mem, &mut space, va, &mut b).expect("read");
-            want.push(b[0]);
-        }
-        for p in 0..seed_pages {
-            let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
-            r.mmu.write_bytes(&mut r.mem, &mut space, va, &[0xEE]).expect("trash");
-        }
-        let (mut uc, _) = r.store.deploy(&mut r.mmu, &mut r.mem, snap).expect("deploy");
-        for p in 0..seed_pages {
-            let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
-            let mut b = [0u8];
-            r.mmu.read_bytes(&mut r.mem, &mut uc, va, &mut b).expect("read uc");
-            prop_assert_eq!(b[0], want[p as usize], "page {}", p);
-        }
-        r.mmu.destroy_space(&mut r.mem, uc);
-        r.store.release_uc(snap).expect("release");
-        r.mmu.destroy_space(&mut r.mem, space);
-        r.store.delete(&mut r.mmu, &mut r.mem, snap).expect("delete");
-        prop_assert_eq!(r.mem.stats().used_frames, 0);
+#[test]
+fn deploys_see_exact_snapshot_bytes() {
+    let cases = (
+        seuss_check::range(1u64, 39),
+        seuss_check::vecs(
+            (seuss_check::range(0u64, 39), seuss_check::range(0u8, 255)),
+            0,
+            20,
+        ),
+    );
+    check_with(
+        Config::with_cases(32),
+        "snap_exact_bytes",
+        &cases,
+        |&(seed_pages, ref writes)| {
+            let mut r = rig();
+            let mut space = seeded_space(&mut r, seed_pages);
+            for &(p, v) in writes {
+                let va = VirtAddr::new(BASE + (p % seed_pages) * PAGE_SIZE as u64);
+                r.mmu
+                    .write_bytes(&mut r.mem, &mut space, va, &[v])
+                    .expect("write");
+            }
+            let snap = r
+                .store
+                .capture(
+                    &mut r.mmu,
+                    &mut r.mem,
+                    &mut space,
+                    RegisterState::default(),
+                    SnapshotKind::Runtime,
+                    "s",
+                    None,
+                )
+                .expect("capture");
+            // Record expected bytes, then trash the original space.
+            let mut want = Vec::new();
+            for p in 0..seed_pages {
+                let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
+                let mut b = [0u8];
+                r.mmu
+                    .read_bytes(&mut r.mem, &mut space, va, &mut b)
+                    .expect("read");
+                want.push(b[0]);
+            }
+            for p in 0..seed_pages {
+                let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
+                r.mmu
+                    .write_bytes(&mut r.mem, &mut space, va, &[0xEE])
+                    .expect("trash");
+            }
+            let (mut uc, _) = r
+                .store
+                .deploy(&mut r.mmu, &mut r.mem, snap)
+                .expect("deploy");
+            for p in 0..seed_pages {
+                let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
+                let mut b = [0u8];
+                r.mmu
+                    .read_bytes(&mut r.mem, &mut uc, va, &mut b)
+                    .expect("read uc");
+                ensure_eq!(b[0], want[p as usize], "page {p}");
+            }
+            r.mmu.destroy_space(&mut r.mem, uc);
+            r.store.release_uc(snap).expect("release");
+            r.mmu.destroy_space(&mut r.mem, space);
+            r.store
+                .delete(&mut r.mmu, &mut r.mem, snap)
+                .expect("delete");
+            ensure_eq!(r.mem.stats().used_frames, 0);
+            Ok(())
+        },
+    );
+}
+
+/// Reads the first byte of every page mapped under `root`.
+fn view(r: &Rig, root: seuss_paging::TableId) -> BTreeMap<u64, u8> {
+    let mut out = BTreeMap::new();
+    for (vpn, frame) in r.mmu.collect_mapped(root) {
+        let mut b = [0u8];
+        r.mem.read(frame, 0, &mut b);
+        out.insert(vpn, b[0]);
     }
+    out
+}
+
+#[test]
+fn replaying_stack_diffs_reconstructs_contents() {
+    // Satellite invariant: a snapshot stack *is* a chain of page-level
+    // diffs. Computing each level's diff against its parent (pages whose
+    // backing frame changed) and overlaying them base-first must
+    // reconstruct exactly the deepest snapshot's captured view — and the
+    // structural diff size must agree with the store's `diff_pages()`
+    // accounting.
+    let levels = seuss_check::vecs(
+        seuss_check::vecs(
+            (seuss_check::range(0u64, 59), seuss_check::range(0u8, 255)),
+            0,
+            6,
+        ),
+        1,
+        5,
+    );
+    check_with(
+        Config::with_cases(32),
+        "snap_diff_replay",
+        &levels,
+        |levels| {
+            let mut r = rig();
+            let mut space = seeded_space(&mut r, 30);
+            let base = r
+                .store
+                .capture(
+                    &mut r.mmu,
+                    &mut r.mem,
+                    &mut space,
+                    RegisterState::default(),
+                    SnapshotKind::Runtime,
+                    "base",
+                    None,
+                )
+                .expect("base");
+            r.mmu.destroy_space(&mut r.mem, space);
+
+            let mut chain = vec![base];
+            for writes in levels {
+                let parent = *chain.last().expect("nonempty");
+                let (mut uc, _) = r
+                    .store
+                    .deploy(&mut r.mmu, &mut r.mem, parent)
+                    .expect("deploy");
+                for &(p, v) in writes {
+                    let va = VirtAddr::new(BASE + p * PAGE_SIZE as u64);
+                    r.mmu
+                        .write_bytes(&mut r.mem, &mut uc, va, &[v])
+                        .expect("write");
+                }
+                let child = r
+                    .store
+                    .capture(
+                        &mut r.mmu,
+                        &mut r.mem,
+                        &mut uc,
+                        RegisterState::default(),
+                        SnapshotKind::Function,
+                        "f",
+                        Some(parent),
+                    )
+                    .expect("capture");
+                r.mmu.destroy_space(&mut r.mem, uc);
+                r.store.release_uc(parent).expect("release");
+                chain.push(child);
+            }
+
+            let stack = r
+                .store
+                .stack_of(*chain.last().expect("nonempty"))
+                .expect("stack");
+            ensure_eq!(stack, chain, "stack_of returns the lineage in order");
+
+            // Replay: overlay each level's diff (vs its parent's mapping)
+            // onto an accumulator, base-first.
+            let mut overlay: BTreeMap<u64, u8> = BTreeMap::new();
+            let mut parent_frames: BTreeMap<u64, FrameId> = BTreeMap::new();
+            for &id in &chain {
+                let snap = r.store.get(id).expect("get");
+                let mapped = r.mmu.collect_mapped(snap.root());
+                let mut diff_pages = 0u64;
+                for &(vpn, frame) in &mapped {
+                    if parent_frames.get(&vpn) != Some(&frame) {
+                        diff_pages += 1;
+                        let mut b = [0u8];
+                        r.mem.read(frame, 0, &mut b);
+                        overlay.insert(vpn, b[0]);
+                    }
+                }
+                ensure_eq!(
+                    diff_pages,
+                    snap.diff_pages(),
+                    "structural diff of {:?} disagrees with accounting",
+                    snap.label()
+                );
+                parent_frames = mapped.into_iter().collect();
+            }
+
+            let deepest = r.store.get(*chain.last().expect("nonempty")).expect("get");
+            ensure_eq!(
+                overlay,
+                view(&r, deepest.root()),
+                "diff replay reconstructs the deepest view"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn shrinking_finds_minimal_failing_act_sequence() {
+    // Harness self-check on a *domain* generator: plant a fake invariant
+    // ("never more than two captures succeed") and verify the shrinker
+    // reduces an arbitrary failing op-sequence to the minimal one — three
+    // capturing deploys and nothing else — with a replayable seed.
+    let failure = run_check(
+        Config::with_cases(200),
+        "snap_shrink_demo",
+        &acts(30),
+        &|acts: &Vec<Act>| {
+            let mut r = rig();
+            let live = run_acts(&mut r, acts);
+            ensure!(live.len() <= 3, "more than two captures succeeded");
+            Ok(())
+        },
+    );
+    let f = failure.expect("the planted invariant must eventually fail");
+    assert_eq!(
+        f.minimized.len(),
+        3,
+        "minimal sequence is exactly three ops: {:?}",
+        f.minimized
+    );
+    assert!(
+        f.minimized
+            .iter()
+            .all(|a| matches!(a, Act::DeployWriteCapture { capture: true, .. })),
+        "every surviving op is a capturing deploy: {:?}",
+        f.minimized
+    );
+    assert!(f.report().contains("SEUSS_CHECK_SEED="));
 }
 
 #[test]

@@ -413,11 +413,7 @@ impl UcContext {
     /// all COW breaks — the mechanism behind the paper's closing §7
     /// observation that COW interacts poorly with page-rewriting
     /// runtimes (studied further in the `ablation_gc` bench).
-    pub fn run_gc(
-        &mut self,
-        mmu: &mut Mmu,
-        mem: &mut PhysMemory,
-    ) -> Result<SimDuration, UcError> {
+    pub fn run_gc(&mut self, mmu: &mut Mmu, mem: &mut PhysMemory) -> Result<SimDuration, UcError> {
         let interp = Rc::make_mut(&mut self.interp);
         let before = interp.cycles();
         {

@@ -64,7 +64,9 @@ pub fn per_second_series(records: &[RequestRecord]) -> Vec<SecondBucket> {
     use std::collections::BTreeMap;
     let mut buckets: BTreeMap<u64, (u64, u64, Vec<f64>)> = BTreeMap::new();
     for r in records {
-        let e = buckets.entry(r.sent_at_s as u64).or_insert((0, 0, Vec::new()));
+        let e = buckets
+            .entry(r.sent_at_s as u64)
+            .or_insert((0, 0, Vec::new()));
         e.0 += 1;
         if r.status == RequestStatus::Ok {
             e.2.push(r.latency_ms);

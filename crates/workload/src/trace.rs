@@ -125,7 +125,12 @@ pub fn render_trace(registry: &Registry, spec: &WorkloadSpec) -> String {
             FnKind::Io => "io".to_string(),
             FnKind::Cpu(d) => format!("cpu,{}", d.as_millis_f64() as u64),
         };
-        out.push_str(&format!("{:.3},{},{}\n", at.as_millis_f64(), fn_id, kind_str));
+        out.push_str(&format!(
+            "{:.3},{},{}\n",
+            at.as_millis_f64(),
+            fn_id,
+            kind_str
+        ));
     }
     out
 }

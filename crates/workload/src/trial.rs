@@ -1,10 +1,7 @@
 //! Closed-loop trials: N invocations over M functions from C workers.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use seuss_platform::{FnKind, Registry, WorkloadSpec};
+use simcore::{SimRng, Zipf};
 
 /// Parameters of one benchmark trial.
 #[derive(Clone, Copy, Debug)]
@@ -43,8 +40,8 @@ impl TrialParams {
         let mut registry = Registry::new();
         registry.register_many(0, self.set_size, self.kind);
         let mut order: Vec<u64> = (0..self.invocations).map(|i| i % self.set_size).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        order.shuffle(&mut rng);
+        let mut rng = SimRng::new(self.seed);
+        rng.shuffle(&mut order);
         (registry, WorkloadSpec::closed_loop(order, self.workers))
     }
 }
@@ -75,24 +72,12 @@ impl ZipfTrial {
         assert!(self.set_size > 0, "need at least one function");
         let mut registry = Registry::new();
         registry.register_many(0, self.set_size, self.kind);
-        // Inverse-CDF sampling over precomputed cumulative weights.
-        let weights: Vec<f64> = (1..=self.set_size)
-            .map(|k| 1.0 / (k as f64).powf(self.alpha))
-            .collect();
-        let total: f64 = weights.iter().sum();
-        let mut cdf = Vec::with_capacity(weights.len());
-        let mut acc = 0.0;
-        for w in &weights {
-            acc += w / total;
-            cdf.push(acc);
-        }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Inverse-CDF sampling over precomputed cumulative weights,
+        // provided by simcore so every crate shares one implementation.
+        let dist = Zipf::new(self.set_size, self.alpha);
+        let mut rng = SimRng::new(self.seed);
         let order: Vec<u64> = (0..self.invocations)
-            .map(|_| {
-                let u: f64 = rng.gen();
-                cdf.partition_point(|&c| c < u) as u64
-            })
-            .map(|f| f.min(self.set_size - 1))
+            .map(|_| dist.sample(&mut rng))
             .collect();
         (registry, WorkloadSpec::closed_loop(order, self.workers))
     }

@@ -69,6 +69,44 @@ fn burst_runs_are_deterministic() {
 }
 
 #[test]
+fn cross_run_replay_is_byte_identical_for_both_backends() {
+    // The replay contract, stated once for every backend: a fresh
+    // `run_trial` with an identical seed must reproduce the full record
+    // stream byte-for-byte — in both the CSV and the JSON-lines
+    // renderings — with nothing shared between the two invocations.
+    type CfgFn = fn() -> ClusterConfig;
+    let backends: [(&str, CfgFn); 2] = [
+        ("seuss", seuss_cfg as CfgFn),
+        ("linux", ClusterConfig::linux_paper as CfgFn),
+    ];
+    for (name, cfg) in backends {
+        let run = || {
+            let (reg, spec) = TrialParams {
+                invocations: 192,
+                set_size: 24,
+                workers: 8,
+                kind: seuss::platform::FnKind::Nop,
+                seed: 1234,
+            }
+            .build();
+            let out = run_trial(cfg(), reg, &spec);
+            (
+                records_csv(&out.records),
+                seuss::platform::records_jsonl(&out.records),
+            )
+        };
+        let (csv_a, jsonl_a) = run();
+        let (csv_b, jsonl_b) = run();
+        assert_eq!(csv_a, csv_b, "{name}: records_csv differs across runs");
+        assert_eq!(
+            jsonl_a, jsonl_b,
+            "{name}: records_jsonl differs across runs"
+        );
+        assert!(!csv_a.is_empty(), "{name}: trial produced no records");
+    }
+}
+
+#[test]
 fn different_seeds_change_the_order_not_the_aggregates() {
     let run = |seed: u64| {
         let (reg, spec) = TrialParams {
