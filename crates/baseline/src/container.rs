@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use seuss_net::Bridge;
+use seuss_trace::{TraceEvent, Tracer};
 use simcore::SimDuration;
 
 /// Function identity (mirrors `seuss-core::FnId`).
@@ -106,6 +107,8 @@ pub struct DockerEngine {
     pub deleted: u64,
     /// Connection attempts that timed out on the bridge.
     pub connect_failures: u64,
+    /// Trace sink for container lifecycle events (disabled by default).
+    pub tracer: Tracer,
 }
 
 impl DockerEngine {
@@ -128,6 +131,7 @@ impl DockerEngine {
             created: 0,
             deleted: 0,
             connect_failures: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -171,6 +175,7 @@ impl DockerEngine {
         // Contention counts the *other* creations in flight.
         let latency = self.create_latency();
         self.in_flight_creates += 1;
+        self.tracer.event(TraceEvent::ContainerCreate);
         Ok(latency)
     }
 
@@ -206,6 +211,7 @@ impl DockerEngine {
         self.containers.remove(&id).ok_or(DockerError::Unknown)?;
         self.bridge.detach();
         self.deleted += 1;
+        self.tracer.event(TraceEvent::ContainerDelete);
         Ok(self.delete_latency)
     }
 

@@ -146,9 +146,11 @@ fn ablation_ao(h: &mut Harness) {
         ("full_ao", AoLevel::NetworkAndInterpreter),
     ] {
         g.bench_function(name, |b| {
-            let mut cfg = SeussConfig::test_node();
-            cfg.ao = ao;
-            cfg.mem_mib = 2048;
+            let cfg = SeussConfig::test_builder()
+                .ao_level(ao)
+                .mem_mib(2048)
+                .build()
+                .expect("valid ablation config");
             let (mut node, _) = SeussNode::new(cfg).expect("node");
             let mut f = 0u64;
             b.iter(|| {

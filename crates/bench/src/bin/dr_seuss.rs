@@ -27,8 +27,10 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(64);
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 4 * 1024;
+    let cfg = SeussConfig::builder()
+        .mem_mib(4 * 1024)
+        .build()
+        .expect("valid dr-seuss config");
     eprintln!("building a {nodes}-node DR-SEUSS cluster…");
     let (mut cluster, init) = DrSeussCluster::new(nodes, cfg).expect("cluster");
     eprintln!(

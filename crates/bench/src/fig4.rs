@@ -27,9 +27,11 @@ pub struct Fig4Point {
 }
 
 fn seuss_cluster(mem_mib: u64) -> ClusterConfig {
-    let mut node = SeussConfig::paper_node();
-    node.mem_mib = mem_mib;
-    node.ao = AoLevel::NetworkAndInterpreter;
+    let node = SeussConfig::builder()
+        .mem_mib(mem_mib)
+        .ao_level(AoLevel::NetworkAndInterpreter)
+        .build()
+        .expect("valid fig4 config");
     ClusterConfig {
         backend: BackendKind::Seuss(Box::new(node)),
         ..ClusterConfig::seuss_paper()

@@ -37,9 +37,11 @@ pub fn run_fig5(
             if let Some(n) = invocations_per_trial {
                 params.invocations = n.max(m);
             }
-            let mut node = SeussConfig::paper_node();
-            node.mem_mib = mem_mib;
-            node.ao = AoLevel::NetworkAndInterpreter;
+            let node = SeussConfig::builder()
+                .mem_mib(mem_mib)
+                .ao_level(AoLevel::NetworkAndInterpreter)
+                .build()
+                .expect("valid fig5 config");
             let seuss_cfg = ClusterConfig {
                 backend: BackendKind::Seuss(Box::new(node)),
                 ..ClusterConfig::seuss_paper()

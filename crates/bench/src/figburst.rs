@@ -90,9 +90,11 @@ pub fn run_burst(params: BurstParams, mem_mib: u64) -> BurstOutcome {
     let linux = run_trial(linux_cfg, reg_l, &spec_l);
 
     let (reg_s, spec_s) = params.build();
-    let mut node = SeussConfig::paper_node();
-    node.mem_mib = mem_mib;
-    node.ao = AoLevel::NetworkAndInterpreter;
+    let node = SeussConfig::builder()
+        .mem_mib(mem_mib)
+        .ao_level(AoLevel::NetworkAndInterpreter)
+        .build()
+        .expect("valid burst config");
     let seuss_cfg = ClusterConfig {
         backend: BackendKind::Seuss(Box::new(node)),
         ..ClusterConfig::seuss_paper()

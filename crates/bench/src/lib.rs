@@ -31,6 +31,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod timing;
+pub mod traced;
 
 pub use fig4::{run_fig4, Fig4Point};
 pub use fig5::{run_fig5, Fig5Row};
@@ -40,3 +41,4 @@ pub use table1::{run_table1, Table1Results};
 pub use table2::{run_table2, Table2Results};
 pub use table3::{run_table3, IsolationRow, Table3Results};
 pub use timing::{BatchSize, Bencher, BenchmarkId, Harness};
+pub use traced::{run_trace_smoke, TraceSmoke};

@@ -6,7 +6,7 @@
 //! footprint of NOP invocations over the cold, warm, and hot paths,
 //! averaged across 475 invocations (the paper's count).
 
-use seuss_core::{AoLevel, Invocation, SeussConfig, SeussNode};
+use seuss_core::{AoLevel, Invocation, Phase, SeussConfig, SeussNode};
 use seuss_mem::PAGE_SIZE;
 
 /// One invocation path's measurements.
@@ -18,6 +18,10 @@ pub struct PathRow {
     pub footprint_mib: f64,
     /// Mean pages copied per invocation.
     pub pages_copied: f64,
+    /// Mean per-phase latency, ms, indexed by [`Phase::index`]. The
+    /// phases sum to `latency_ms`; absent phases (e.g. deploy on the hot
+    /// path) stay zero.
+    pub phase_ms: [f64; Phase::COUNT],
 }
 
 /// All Table 1 measurements.
@@ -42,9 +46,11 @@ pub struct Table1Results {
 const NOP: &str = "function main(args) { return 0; }";
 
 fn node_with(ao: AoLevel, mem_mib: u64) -> SeussNode {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = mem_mib;
-    cfg.ao = ao;
+    let cfg = SeussConfig::builder()
+        .mem_mib(mem_mib)
+        .ao_level(ao)
+        .build()
+        .expect("valid table1 config");
     SeussNode::new(cfg).expect("node init").0
 }
 
@@ -108,6 +114,9 @@ pub fn run_table1(iterations: u32) -> Table1Results {
                     ..
                 } => {
                     row.latency_ms += costs.total().as_millis_f64();
+                    for (phase, d) in costs.phases() {
+                        row.phase_ms[phase.index()] += d.as_millis_f64();
+                    }
                     row.pages_copied += private_pages as f64;
                     row.footprint_mib +=
                         (private_pages * PAGE_SIZE as u64) as f64 / (1024.0 * 1024.0);
@@ -122,6 +131,9 @@ pub fn run_table1(iterations: u32) -> Table1Results {
         row.latency_ms /= n;
         row.pages_copied /= n;
         row.footprint_mib /= n;
+        for p in row.phase_ms.iter_mut() {
+            *p /= n;
+        }
         row
     };
 
@@ -166,5 +178,14 @@ mod tests {
         );
         // Footprints: warm touches the resume set; hot only run state.
         assert!(r.warm.pages_copied > r.hot.pages_copied);
+        // Per-phase breakdown sums back to the mean latency.
+        for row in [r.cold, r.warm, r.hot] {
+            let sum: f64 = row.phase_ms.iter().sum();
+            assert!((sum - row.latency_ms).abs() < 1e-9, "{sum} vs {row:?}");
+        }
+        // Only cold pays import + capture.
+        assert!(r.cold.phase_ms[Phase::Import.index()] > 0.0);
+        assert!(r.warm.phase_ms[Phase::Import.index()] == 0.0);
+        assert!(r.hot.phase_ms[Phase::Deploy.index()] == 0.0);
     }
 }

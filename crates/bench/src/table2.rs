@@ -29,9 +29,11 @@ pub struct Table2Results {
 const NOP: &str = "function main(args) { return 0; }";
 
 fn measure(ao: AoLevel, iterations: u32) -> AoRow {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 8 * 1024;
-    cfg.ao = ao;
+    let cfg = SeussConfig::builder()
+        .mem_mib(8 * 1024)
+        .ao_level(ao)
+        .build()
+        .expect("valid table2 config");
     let (mut node, _) = SeussNode::new(cfg).expect("node init");
     let mut row = AoRow::default();
 

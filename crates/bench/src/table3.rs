@@ -104,10 +104,12 @@ pub fn run_table3(mem_mib: u64, seuss_density_cap: Option<u64>) -> Table3Results
     });
 
     // --- SEUSS: real mechanism fill + shim-bottlenecked rate. ---
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = mem_mib;
-    cfg.idle_per_fn = usize::MAX >> 1;
-    cfg.idle_total = usize::MAX >> 1;
+    let cfg = SeussConfig::builder()
+        .mem_mib(mem_mib)
+        .idle_per_fn(usize::MAX >> 1)
+        .idle_total(usize::MAX >> 1)
+        .build()
+        .expect("valid table3 config");
     let (mut node, _) = SeussNode::new(cfg).expect("node init");
 
     // Density: deploy idle UCs from the runtime snapshot until the pool

@@ -31,9 +31,10 @@ pub mod node;
 pub mod shim;
 
 pub use caches::{FnImageCache, IdleUcCache};
-pub use config::{AoLevel, SeussConfig};
+pub use config::{AoLevel, ConfigError, SeussConfig, SeussConfigBuilder};
 pub use cost::CostModel;
 pub use node::{FnId, Invocation, IoToken, NodeError, NodeStats, PathCosts, PathKind, SeussNode};
 pub use shim::ShimProcess;
 
+pub use seuss_trace::{Phase, Tracer};
 pub use seuss_unikernel::RuntimeKind;

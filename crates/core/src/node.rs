@@ -13,6 +13,7 @@ use seuss_mem::PhysMemory;
 use seuss_net::{NetProxy, UcEndpoint};
 use seuss_paging::Mmu;
 use seuss_snapshot::{SnapshotKind, SnapshotStore};
+use seuss_trace::{CacheKind, Phase, SpanName, TraceEvent, Tracer};
 use seuss_unikernel::{ImageStore, InvocationOutcome, RuntimeKind, UcContext, UcError, UcImageId};
 use simcore::SimDuration;
 
@@ -20,19 +21,10 @@ use crate::caches::{FnImageCache, IdleUcCache};
 use crate::config::{AoLevel, SeussConfig};
 use crate::cost::CostModel;
 
+pub use seuss_trace::PathKind;
+
 /// Function identity (1:1 with a client account's unique function).
 pub type FnId = u64;
-
-/// Which deployment path served an invocation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PathKind {
-    /// No cached state: runtime snapshot + import + capture.
-    Cold,
-    /// Function snapshot cached: deploy + run.
-    Warm,
-    /// Idle UC cached: run in place.
-    Hot,
-}
 
 /// Per-phase virtual-time costs of one invocation segment.
 #[derive(Clone, Copy, Debug, Default)]
@@ -52,9 +44,39 @@ pub struct PathCosts {
 }
 
 impl PathCosts {
+    /// The cost of one [`Phase`].
+    pub fn get(&self, phase: Phase) -> SimDuration {
+        match phase {
+            Phase::Deploy => self.deploy,
+            Phase::Connect => self.connect,
+            Phase::Import => self.import,
+            Phase::Capture => self.capture,
+            Phase::Exec => self.exec,
+            Phase::Respond => self.respond,
+        }
+    }
+
+    /// Sets the cost of one [`Phase`].
+    pub fn set(&mut self, phase: Phase, d: SimDuration) {
+        match phase {
+            Phase::Deploy => self.deploy = d,
+            Phase::Connect => self.connect = d,
+            Phase::Import => self.import = d,
+            Phase::Capture => self.capture = d,
+            Phase::Exec => self.exec = d,
+            Phase::Respond => self.respond = d,
+        }
+    }
+
+    /// All phases in segment order with their costs — the one enumeration
+    /// behind [`PathCosts::total`], the trial reports, and the tracer.
+    pub fn phases(&self) -> impl Iterator<Item = (Phase, SimDuration)> + '_ {
+        Phase::ALL.iter().map(move |&p| (p, self.get(p)))
+    }
+
     /// Total CPU time of the segment.
     pub fn total(&self) -> SimDuration {
-        self.deploy + self.connect + self.import + self.capture + self.exec + self.respond
+        self.phases().fold(SimDuration::ZERO, |acc, (_, d)| acc + d)
     }
 }
 
@@ -153,6 +175,8 @@ pub struct SeussNode {
     /// The per-core network proxy: every live UC holds a unique port
     /// mapping (all UCs share one IP/MAC, §6 "Networking").
     pub proxy: NetProxy,
+    /// Tracing handle (disabled by default; see [`SeussNode::set_tracer`]).
+    pub tracer: Tracer,
     config: SeussConfig,
     runtime_images: HashMap<RuntimeKind, UcImageId>,
     primary_runtime: RuntimeKind,
@@ -268,6 +292,7 @@ impl SeussNode {
             cost: CostModel::paper(),
             stats: NodeStats::default(),
             proxy: NetProxy::new(),
+            tracer: Tracer::disabled(),
             config,
             runtime_images,
             primary_runtime,
@@ -297,6 +322,16 @@ impl SeussNode {
     /// Node configuration.
     pub fn config(&self) -> &SeussConfig {
         &self.config
+    }
+
+    /// Installs a tracer, distributing clones of the shared handle into
+    /// every mechanism layer (MMU, snapshot store, image store), so
+    /// events emitted deep in the paging code parent to the node's spans.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.mmu.tracer = tracer.clone();
+        self.snaps.tracer = tracer.clone();
+        self.images.tracer = tracer.clone();
+        self.tracer = tracer;
     }
 
     /// Memory in use, in MiB.
@@ -353,22 +388,37 @@ impl SeussNode {
     ) -> Result<Invocation, NodeError> {
         let ops_before = self.mmu.stats;
         let mut costs = PathCosts::default();
+        let span = self.tracer.span(SpanName::Invoke);
+        span.annotate_fn(f);
 
         // Hot path: idle UC ready for this function.
         if let Some(mut uc) = self.idle.take(f) {
+            self.tracer.event(TraceEvent::CacheHit {
+                cache: CacheKind::IdleUc,
+            });
+            span.annotate_path(PathKind::Hot);
             let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
             return self.conclude(f, PathKind::Hot, uc, exec, costs, ops_before);
         }
+        self.tracer.event(TraceEvent::CacheMiss {
+            cache: CacheKind::IdleUc,
+        });
 
         // Warm path: deploy from the cached function image.
         if let Some(img) = self.fn_cache.lookup(f) {
+            self.tracer.event(TraceEvent::CacheHit {
+                cache: CacheKind::FnSnapshot,
+            });
+            span.annotate_path(PathKind::Warm);
             let mut uc = self.deploy_uc(img, &mut costs)?;
-            costs.connect = uc
-                .connect(&mut self.mmu, &mut self.mem)
-                .map_err(map_uc_err)?;
+            self.connect_uc(&mut uc, &mut costs)?;
             let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
             return self.conclude(f, PathKind::Warm, uc, exec, costs, ops_before);
         }
+        self.tracer.event(TraceEvent::CacheMiss {
+            cache: CacheKind::FnSnapshot,
+        });
+        span.annotate_path(PathKind::Cold);
 
         // Cold path: runtime snapshot + import + capture.
         let base = self
@@ -377,44 +427,62 @@ impl SeussNode {
             .copied()
             .ok_or(NodeError::NotInitialized)?;
         let mut uc = self.deploy_uc(base, &mut costs)?;
-        costs.connect = uc
-            .connect(&mut self.mmu, &mut self.mem)
-            .map_err(map_uc_err)?;
-        let import_cost = match uc.import_function(&mut self.mmu, &mut self.mem, src) {
-            Ok(c) => c,
-            Err(e) => {
-                self.destroy_uc(uc);
-                self.stats.errors += 1;
-                return Err(map_uc_err(e));
-            }
-        };
-        costs.import = import_cost + self.cost.import_per_byte * src.len() as u64;
-        let (fn_img, capture_cost) = self
-            .images
-            .capture(
+        self.connect_uc(&mut uc, &mut costs)?;
+        {
+            let _import_span = self.tracer.span(SpanName::Phase(Phase::Import));
+            let import_cost = match uc.import_function(&mut self.mmu, &mut self.mem, src) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.destroy_uc(uc);
+                    self.stats.errors += 1;
+                    return Err(map_uc_err(e));
+                }
+            };
+            costs.import = import_cost + self.cost.import_per_byte * src.len() as u64;
+            self.tracer.advance(costs.import);
+        }
+        {
+            let _capture_span = self.tracer.span(SpanName::Phase(Phase::Capture));
+            let (fn_img, capture_cost) = self
+                .images
+                .capture(
+                    &mut self.mmu,
+                    &mut self.mem,
+                    &mut self.snaps,
+                    &mut uc,
+                    SnapshotKind::Function,
+                    format!("fn-{f}"),
+                    Some(base),
+                )
+                .map_err(map_uc_err)?;
+            costs.capture = capture_cost;
+            self.tracer.advance(costs.capture);
+            self.fn_cache.insert(
                 &mut self.mmu,
                 &mut self.mem,
                 &mut self.snaps,
-                &mut uc,
-                SnapshotKind::Function,
-                format!("fn-{f}"),
-                Some(base),
-            )
-            .map_err(map_uc_err)?;
-        costs.capture = capture_cost;
-        self.fn_cache.insert(
-            &mut self.mmu,
-            &mut self.mem,
-            &mut self.snaps,
-            &mut self.images,
-            f,
-            fn_img,
-        );
+                &mut self.images,
+                f,
+                fn_img,
+            );
+        }
         let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
         self.conclude(f, PathKind::Cold, uc, exec, costs, ops_before)
     }
 
+    /// Runs the connect phase under its span, advancing the trace clock
+    /// by exactly the recorded cost.
+    fn connect_uc(&mut self, uc: &mut UcContext, costs: &mut PathCosts) -> Result<(), NodeError> {
+        let _span = self.tracer.span(SpanName::Phase(Phase::Connect));
+        costs.connect = uc
+            .connect(&mut self.mmu, &mut self.mem)
+            .map_err(map_uc_err)?;
+        self.tracer.advance(costs.connect);
+        Ok(())
+    }
+
     fn deploy_uc(&mut self, img: UcImageId, costs: &mut PathCosts) -> Result<UcContext, NodeError> {
+        let _span = self.tracer.span(SpanName::Phase(Phase::Deploy));
         // Memory pressure is handled before construction, like the §6
         // daemon watching the free-frame watermark.
         self.run_oom_daemon();
@@ -428,6 +496,7 @@ impl SeussNode {
             uc: uc.uc_id,
         });
         costs.deploy = mech_cost + self.cost.uc_construct_fixed;
+        self.tracer.advance(costs.deploy);
         Ok(uc)
     }
 
@@ -444,10 +513,12 @@ impl SeussNode {
         args: &[(&str, &str)],
         costs: &mut PathCosts,
     ) -> Result<InvocationOutcome, NodeError> {
+        let _span = self.tracer.span(SpanName::Phase(Phase::Exec));
         let (outcome, exec_cost) = uc
             .invoke(&mut self.mmu, &mut self.mem, args)
             .map_err(map_uc_err)?;
         costs.exec = self.cost.arg_import + self.cost.dispatch_fixed + exec_cost;
+        self.tracer.advance(costs.exec);
         Ok(outcome)
     }
 
@@ -462,7 +533,12 @@ impl SeussNode {
     ) -> Result<Invocation, NodeError> {
         match outcome {
             InvocationOutcome::Completed { result } => {
-                costs.respond = self.cost.respond;
+                {
+                    let _span = self.tracer.span(SpanName::Phase(Phase::Respond));
+                    costs.respond = self.cost.respond;
+                    self.tracer.advance(costs.respond);
+                }
+                self.tracer.record_segment(path, costs.phases());
                 match path {
                     PathKind::Cold => self.stats.cold += 1,
                     PathKind::Warm => self.stats.warm += 1,
@@ -481,6 +557,7 @@ impl SeussNode {
                 })
             }
             InvocationOutcome::BlockedOnIo { url } => {
+                self.tracer.record_segment(path, costs.phases());
                 let token = IoToken(self.next_token);
                 self.next_token += 1;
                 self.pending.insert(token.0, (f, path, uc));
@@ -506,10 +583,18 @@ impl SeussNode {
             .ok_or(NodeError::UnknownToken)?;
         let ops_before = self.mmu.stats;
         let mut costs = PathCosts::default();
-        let (outcome, exec_cost) = uc
-            .resume_io(&mut self.mmu, &mut self.mem, response)
-            .map_err(map_uc_err)?;
-        costs.exec = exec_cost;
+        let span = self.tracer.span(SpanName::Resume);
+        span.annotate_fn(f);
+        span.annotate_path(path);
+        let outcome = {
+            let _exec_span = self.tracer.span(SpanName::Phase(Phase::Exec));
+            let (outcome, exec_cost) = uc
+                .resume_io(&mut self.mmu, &mut self.mem, response)
+                .map_err(map_uc_err)?;
+            costs.exec = exec_cost;
+            self.tracer.advance(costs.exec);
+            outcome
+        };
         self.conclude(f, path, uc, outcome, costs, ops_before)
     }
 
@@ -686,10 +771,12 @@ mod tests {
 
     #[test]
     fn oom_daemon_reclaims_idle_ucs() {
-        let mut cfg = SeussConfig::test_node();
-        cfg.mem_mib = 192;
-        cfg.idle_per_fn = 8;
-        cfg.idle_total = 10_000;
+        let cfg = SeussConfig::test_builder()
+            .mem_mib(192)
+            .idle_per_fn(8)
+            .idle_total(10_000)
+            .build()
+            .unwrap();
         let (mut n, _) = SeussNode::new(cfg).unwrap();
         // Force pressure: tiny reclaim threshold relative to remaining room.
         let free = n.mem.stats().free_frames();
@@ -714,8 +801,7 @@ mod tests {
     #[test]
     fn ao_levels_change_cold_cost() {
         let mk = |ao| {
-            let mut cfg = SeussConfig::test_node();
-            cfg.ao = ao;
+            let cfg = SeussConfig::test_builder().ao_level(ao).build().unwrap();
             let (mut n, _) = SeussNode::new(cfg).unwrap();
             let (_, _, c) = expect_completed(n.invoke(1, NOP, &[]).unwrap());
             c.total()

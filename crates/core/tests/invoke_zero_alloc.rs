@@ -1,0 +1,90 @@
+//! Acceptance check for the disabled-mode cost contract at the invoke
+//! level: with a disabled tracer, the trace hooks inside
+//! `SeussNode::invoke` contribute zero heap allocations.
+//!
+//! Method: drive two freshly built, identical nodes through the
+//! identical invocation sequence — one never touches the tracer, the
+//! other has a disabled tracer explicitly installed (after an
+//! enable/disable round-trip, so the hooks demonstrably ran). Their
+//! per-invocation allocation counts must match exactly. A third node
+//! with tracing left enabled must allocate strictly more, proving the
+//! counter and the hooks are live on this code path.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use seuss_core::{SeussConfig, SeussNode};
+use seuss_trace::Tracer;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const NOP: &str = "function main(args) { return 0; }";
+
+fn fresh_node() -> SeussNode {
+    let cfg = SeussConfig::test_builder()
+        .mem_mib(2048)
+        .build()
+        .expect("valid config");
+    SeussNode::new(cfg).expect("node").0
+}
+
+/// One cold invocation then a run of hot ones, returning the allocation
+/// count of each (cold exercises deploy/import/capture hooks, hot the
+/// steady-state path).
+fn drive(node: &mut SeussNode) -> Vec<u64> {
+    (0..65)
+        .map(|_| {
+            let before = ALLOCS.load(Ordering::SeqCst);
+            node.invoke(1, NOP, &[]).expect("invoke");
+            ALLOCS.load(Ordering::SeqCst) - before
+        })
+        .collect()
+}
+
+#[test]
+fn disabled_tracing_adds_zero_allocations_to_invoke() {
+    // Node A: never interacts with tracing beyond the built-in default.
+    let mut node_a = fresh_node();
+    let seq_a = drive(&mut node_a);
+
+    // Node B: tracer hooks exercised (enable, then disable) before the
+    // identical drive. Identical counts ⇒ disabled hooks allocate zero.
+    let mut node_b = fresh_node();
+    node_b.set_tracer(Tracer::enabled());
+    node_b.set_tracer(Tracer::disabled());
+    let seq_b = drive(&mut node_b);
+    assert_eq!(
+        seq_a, seq_b,
+        "a disabled tracer must not change invoke's allocation profile"
+    );
+
+    // Node C: tracing enabled throughout — must allocate strictly more,
+    // so the counter and the hooks are demonstrably live.
+    let mut node_c = fresh_node();
+    node_c.set_tracer(Tracer::enabled());
+    let seq_c = drive(&mut node_c);
+    let (sum_a, sum_c) = (seq_a.iter().sum::<u64>(), seq_c.iter().sum::<u64>());
+    assert!(
+        sum_c > sum_a,
+        "enabled tracing must allocate (got {sum_c} vs baseline {sum_a})"
+    );
+}

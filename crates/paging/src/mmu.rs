@@ -10,6 +10,7 @@
 
 use seuss_mem::addr::TABLE_ENTRIES;
 use seuss_mem::{FrameId, MemError, PhysMemory, VirtAddr, PAGE_SIZE};
+use seuss_trace::{TraceEvent, Tracer};
 
 use crate::entry::{Entry, EntryFlags};
 use crate::fault::{AccessKind, PageFault};
@@ -23,6 +24,8 @@ pub struct Mmu {
     pub store: TableStore,
     /// Work counters (monotone).
     pub stats: OpStats,
+    /// Tracing handle (disabled by default; the node installs a live one).
+    pub tracer: Tracer,
 }
 
 impl Default for Mmu {
@@ -37,6 +40,7 @@ impl Mmu {
         Mmu {
             store: TableStore::new(),
             stats: OpStats::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -245,6 +249,7 @@ impl Mmu {
         self.map_page(mem, space, va.page_base(), frame, flags)
             .map_err(|_| self.oom(va))?;
         self.stats.demand_zero_allocs += 1;
+        self.tracer.event(TraceEvent::PageFault);
         space.note_private_page();
         Ok(frame)
     }
@@ -276,6 +281,7 @@ impl Mmu {
                     .union(EntryFlags::WRITABLE | EntryFlags::DIRTY | EntryFlags::ACCESSED);
                 self.store.node_mut(l1).entries[idx] = Entry::page(clone, new_flags);
                 self.stats.cow_clones += 1;
+                self.tracer.event(TraceEvent::CowBreak);
                 space.note_private_page();
                 clone
             } else {
@@ -307,6 +313,7 @@ impl Mmu {
             self.store.node_mut(l1).entries[idx] = Entry::page(frame, flags);
             self.stats.pages_mapped += 1;
             self.stats.demand_zero_allocs += 1;
+            self.tracer.event(TraceEvent::PageFault);
             space.note_private_page();
             frame
         };
@@ -417,6 +424,7 @@ impl Mmu {
     /// Models loading CR3: counts a TLB flush.
     pub fn switch_to(&mut self, _root: TableId) {
         self.stats.tlb_flushes += 1;
+        self.tracer.event(TraceEvent::TlbFlush);
     }
 
     /// Counts mapped data pages reachable from `root` (deduplicated walk —

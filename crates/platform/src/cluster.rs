@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 use seuss_baseline::{ContainerId, DockerEngine, DockerError};
 use seuss_core::{Invocation, IoToken, NodeError, PathKind, SeussConfig, SeussNode, ShimProcess};
 use seuss_net::ExternalServer;
+use seuss_trace::{SpanName, TraceEvent, Tracer};
 use simcore::{Scheduler, SimDuration, SimTime, Simulation, World};
 
 use crate::cores::CorePool;
@@ -56,6 +57,10 @@ pub struct ClusterConfig {
     pub linux_exec_nop: SimDuration,
     /// RNG seed (bridge drops).
     pub seed: u64,
+    /// Tracing handle; [`Tracer::disabled`] (the default) records nothing.
+    /// Pass [`Tracer::enabled`] to capture spans, events, and metrics for
+    /// the whole trial.
+    pub tracer: Tracer,
 }
 
 impl ClusterConfig {
@@ -69,6 +74,7 @@ impl ClusterConfig {
             external_block: SimDuration::from_millis(250),
             linux_exec_nop: SimDuration::from_millis(1),
             seed: 42,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -188,14 +194,18 @@ pub struct Cluster {
     cfg_linux_exec_nop: SimDuration,
     /// Requests issued so far.
     pub issued: u64,
+    /// The trial's tracing handle (shared with the backend layers).
+    pub tracer: Tracer,
 }
 
 impl Cluster {
     /// Builds a cluster from config, registry and workload.
     pub fn new(config: ClusterConfig, registry: Registry, spec: &WorkloadSpec) -> Cluster {
+        let tracer = config.tracer.clone();
         let backend = match config.backend {
             BackendKind::Seuss(cfg) => {
-                let (node, _init) = SeussNode::new(*cfg).expect("node init");
+                let (mut node, _init) = SeussNode::new(*cfg).expect("node init");
+                node.set_tracer(tracer.clone());
                 Backend::Seuss {
                     node: Box::new(node),
                     shim: ShimProcess::paper(),
@@ -204,12 +214,16 @@ impl Cluster {
             BackendKind::Linux {
                 cache_limit,
                 stemcell_target,
-            } => Backend::Linux {
-                docker: Box::new(DockerEngine::paper(config.seed).with_cache_limit(cache_limit)),
-                stemcell_target,
-                stemcells_building: 0,
-                wait_queue: VecDeque::new(),
-            },
+            } => {
+                let mut docker = DockerEngine::paper(config.seed).with_cache_limit(cache_limit);
+                docker.tracer = tracer.clone();
+                Backend::Linux {
+                    docker: Box::new(docker),
+                    stemcell_target,
+                    stemcells_building: 0,
+                    wait_queue: VecDeque::new(),
+                }
+            }
         };
         Cluster {
             backend,
@@ -228,6 +242,7 @@ impl Cluster {
             cfg_timeout: config.timeout,
             cfg_linux_exec_nop: config.linux_exec_nop,
             issued: 0,
+            tracer,
         }
     }
 
@@ -272,7 +287,10 @@ impl Cluster {
 
     fn shim_oneway(&mut self) -> SimDuration {
         match &mut self.backend {
-            Backend::Seuss { shim, .. } => shim.invocation_overhead() / 2,
+            Backend::Seuss { shim, .. } => {
+                self.tracer.event(TraceEvent::ShimHop);
+                shim.invocation_overhead() / 2
+            }
             Backend::Linux { .. } => SimDuration::ZERO,
         }
     }
@@ -375,13 +393,17 @@ impl Cluster {
                 // Linux exec: dispatch already done; occupy the core for
                 // the function's CPU share of this segment.
                 let r = &self.reqs[req];
-                match (task, r.kind) {
+                let d = match (task, r.kind) {
                     (Task::Run(_), FnKind::Cpu(d)) => d,
                     (Task::Run(_), FnKind::Nop) => self.cfg_linux_exec_nop,
                     // IO function: brief CPU before issuing the external
                     // call, brief CPU after the reply.
                     (Task::Run(_), FnKind::Io) | (Task::Resume(_), _) => self.cfg_linux_exec_nop,
-                }
+                };
+                let span = self.tracer.span(SpanName::Dispatch);
+                span.annotate_fn(r.fn_id);
+                self.tracer.advance(d);
+                d
             }
         };
         self.cores.record_busy(duration.as_nanos());
@@ -391,12 +413,15 @@ impl Cluster {
     fn submit(&mut self, now: SimTime, task: Task, sched: &mut Scheduler<Ev>) {
         if let Some((core, task)) = self.cores.submit(task) {
             self.start_task(now, core, task, sched);
+        } else {
+            self.tracer.event(TraceEvent::CoreQueued);
         }
     }
 
     /// Linux: attempt to serve `req` with the container machinery.
     fn linux_serve(&mut self, now: SimTime, req: usize, sched: &mut Scheduler<Ev>) {
         let fn_id = self.reqs[req].fn_id;
+        let tracer = self.tracer.clone();
         let Backend::Linux {
             docker, wait_queue, ..
         } = &mut self.backend
@@ -405,6 +430,9 @@ impl Cluster {
         };
         // Hot: idle container bound to this function.
         if let Some(c) = docker.idle_for(fn_id) {
+            tracer.event(TraceEvent::CacheHit {
+                cache: seuss_trace::CacheKind::Container,
+            });
             match docker.dispatch(c) {
                 Ok(_lat) => {
                     // Dispatch latency is sub-millisecond; it is folded
@@ -431,14 +459,25 @@ impl Cluster {
                 }
                 Err(_) => {}
             }
+        } else {
+            tracer.event(TraceEvent::CacheMiss {
+                cache: seuss_trace::CacheKind::Container,
+            });
         }
         // Stemcell: bind (code import) then dispatch.
         if let Some(c) = docker.any_stemcell() {
+            tracer.event(TraceEvent::CacheHit {
+                cache: seuss_trace::CacheKind::Stemcell,
+            });
             if let Ok(init) = docker.bind(c, fn_id) {
                 self.reqs[req].served_by = ServedBy::Stemcell;
                 sched.schedule_at(now + init, Ev::BindDone { req, container: c });
                 return;
             }
+        } else {
+            tracer.event(TraceEvent::CacheMiss {
+                cache: seuss_trace::CacheKind::Stemcell,
+            });
         }
         // Fresh container.
         match docker.start_create() {
@@ -521,6 +560,9 @@ impl World for Cluster {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        // Anchor the trace clock at the simulation's now; mechanism phases
+        // advance it eagerly within this event.
+        self.tracer.set_clock(now);
         match ev {
             Ev::WorkerIssue(w) => {
                 if self.next_order >= self.order.len() {
@@ -719,6 +761,7 @@ impl World for Cluster {
             }
             Ev::Timeout(req) => {
                 if self.reqs[req].status == ReqStatus::InFlight {
+                    self.tracer.event(TraceEvent::Timeout);
                     // Drop from the Linux wait queue if present.
                     if let Backend::Linux { wait_queue, .. } = &mut self.backend {
                         wait_queue.retain(|&r| r != req);
@@ -740,6 +783,9 @@ pub struct TrialOutput {
     pub finished_at: SimTime,
     /// Events processed.
     pub events: u64,
+    /// The trial's tracer — export spans/metrics from here. Disabled
+    /// (empty) unless the [`ClusterConfig`] carried an enabled one.
+    pub tracer: Tracer,
 }
 
 /// Runs one trial to completion and analyzes it.
@@ -784,6 +830,7 @@ pub fn run_trial(config: ClusterConfig, registry: Registry, spec: &WorkloadSpec)
         analysis,
         finished_at,
         events,
+        tracer: world.tracer.clone(),
     }
 }
 
@@ -793,9 +840,11 @@ mod tests {
     use seuss_core::AoLevel;
 
     fn small_seuss() -> ClusterConfig {
-        let mut cfg = SeussConfig::paper_node();
-        cfg.mem_mib = 2048;
-        cfg.ao = AoLevel::NetworkAndInterpreter;
+        let cfg = SeussConfig::builder()
+            .mem_mib(2048)
+            .ao_level(AoLevel::NetworkAndInterpreter)
+            .build()
+            .expect("valid test config");
         ClusterConfig {
             backend: BackendKind::Seuss(Box::new(cfg)),
             ..ClusterConfig::seuss_paper()

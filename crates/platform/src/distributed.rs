@@ -247,9 +247,10 @@ mod tests {
     const NOP: &str = "function main(args) { return 0; }";
 
     fn small_cfg() -> SeussConfig {
-        let mut cfg = SeussConfig::paper_node();
-        cfg.mem_mib = 2048;
-        cfg
+        SeussConfig::builder()
+            .mem_mib(2048)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use seuss_mem::{MemError, PhysMemory, PAGE_SIZE};
 use seuss_paging::{AddressSpace, Mmu, Region};
+use seuss_trace::{TraceEvent, Tracer};
 
 use crate::regs::RegisterState;
 
@@ -136,6 +137,8 @@ impl Snapshot {
 #[derive(Default)]
 pub struct SnapshotStore {
     snaps: Vec<Option<Snapshot>>,
+    /// Tracing handle (disabled by default; the node installs a live one).
+    pub tracer: Tracer,
 }
 
 impl SnapshotStore {
@@ -197,6 +200,9 @@ impl SnapshotStore {
         // operation is what the cost model charges for them.
         mmu.stats.snapshot_clones += diff_pages;
         mmu.stats.dirty_scanned += diff_pages;
+        self.tracer.event(TraceEvent::SnapshotCapture {
+            dirty_pages: diff_pages,
+        });
 
         if let Some(p) = parent {
             self.get_mut(p)?.children += 1;
@@ -242,6 +248,7 @@ impl SnapshotStore {
         let mut space = AddressSpace::from_root(root);
         space.set_regions(regions);
         mmu.switch_to(root);
+        self.tracer.event(TraceEvent::SnapshotDeploy);
         self.get_mut(id)?.active_ucs += 1;
         Ok((space, regs))
     }

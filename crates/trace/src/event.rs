@@ -1,0 +1,157 @@
+//! Typed trace events: points in virtual time, parented to spans.
+
+use simcore::SimTime;
+
+use crate::span::SpanId;
+
+/// Which cache a hit/miss event refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// The SEUSS idle-UC cache (hot path).
+    IdleUc,
+    /// The SEUSS function-snapshot cache (warm path).
+    FnSnapshot,
+    /// Linux: an idle bound container (hot dispatch).
+    Container,
+    /// Linux: the unbound stemcell pool.
+    Stemcell,
+}
+
+impl CacheKind {
+    /// Lowercase name used in trace output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheKind::IdleUc => "idle_uc",
+            CacheKind::FnSnapshot => "fn_snapshot",
+            CacheKind::Container => "container",
+            CacheKind::Stemcell => "stemcell",
+        }
+    }
+}
+
+/// A typed trace event. The taxonomy covers the mechanism operations the
+/// paper attributes time and memory to (see DESIGN.md "Observability").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// The MMU serviced a demand-zero page fault.
+    PageFault,
+    /// The MMU broke a COW share (cloned a frame).
+    CowBreak,
+    /// A root switch flushed the TLB.
+    TlbFlush,
+    /// A snapshot was captured; `dirty_pages` is its page-level diff.
+    SnapshotCapture {
+        /// Pages the captured UC had dirtied since deploy.
+        dirty_pages: u64,
+    },
+    /// A UC address space was deployed from a snapshot.
+    SnapshotDeploy,
+    /// A UC deploy copied frames while resuming (COW + demand-zero).
+    FramesCopied {
+        /// Frames copied during the resume writes.
+        frames: u64,
+    },
+    /// A lookup hit one of the caches.
+    CacheHit {
+        /// Which cache.
+        cache: CacheKind,
+    },
+    /// A lookup missed one of the caches.
+    CacheMiss {
+        /// Which cache.
+        cache: CacheKind,
+    },
+    /// A request crossed the SEUSS shim process (one direction).
+    ShimHop,
+    /// The platform timed a request out.
+    Timeout,
+    /// A task queued because every core was busy.
+    CoreQueued,
+    /// Linux: a container creation started.
+    ContainerCreate,
+    /// Linux: a container was deleted (evicted).
+    ContainerDelete,
+}
+
+/// Number of distinct event kinds (counter-array size).
+pub(crate) const EVENT_KINDS: usize = 19;
+
+impl TraceEvent {
+    /// Lowercase kind name used in trace output and metrics.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            TraceEvent::PageFault => "page_fault",
+            TraceEvent::CowBreak => "cow_break",
+            TraceEvent::TlbFlush => "tlb_flush",
+            TraceEvent::SnapshotCapture { .. } => "snapshot_capture",
+            TraceEvent::SnapshotDeploy => "snapshot_deploy",
+            TraceEvent::FramesCopied { .. } => "frames_copied",
+            TraceEvent::CacheHit { cache } => match cache {
+                CacheKind::IdleUc => "cache_hit:idle_uc",
+                CacheKind::FnSnapshot => "cache_hit:fn_snapshot",
+                CacheKind::Container => "cache_hit:container",
+                CacheKind::Stemcell => "cache_hit:stemcell",
+            },
+            TraceEvent::CacheMiss { cache } => match cache {
+                CacheKind::IdleUc => "cache_miss:idle_uc",
+                CacheKind::FnSnapshot => "cache_miss:fn_snapshot",
+                CacheKind::Container => "cache_miss:container",
+                CacheKind::Stemcell => "cache_miss:stemcell",
+            },
+            TraceEvent::ShimHop => "shim_hop",
+            TraceEvent::Timeout => "timeout",
+            TraceEvent::CoreQueued => "core_queued",
+            TraceEvent::ContainerCreate => "container_create",
+            TraceEvent::ContainerDelete => "container_delete",
+        }
+    }
+
+    /// Dense index for the metrics counter array.
+    pub(crate) fn kind_index(&self) -> usize {
+        match self {
+            TraceEvent::PageFault => 0,
+            TraceEvent::CowBreak => 1,
+            TraceEvent::TlbFlush => 2,
+            TraceEvent::SnapshotCapture { .. } => 3,
+            TraceEvent::SnapshotDeploy => 4,
+            TraceEvent::FramesCopied { .. } => 5,
+            TraceEvent::CacheHit { cache } => 6 + cache_offset(*cache),
+            TraceEvent::CacheMiss { cache } => 10 + cache_offset(*cache),
+            TraceEvent::ShimHop => 14,
+            TraceEvent::Timeout => 15,
+            TraceEvent::CoreQueued => 16,
+            TraceEvent::ContainerCreate => 17,
+            TraceEvent::ContainerDelete => 18,
+        }
+    }
+
+    /// Attached magnitude, if the event carries one (pages, frames).
+    pub fn magnitude(&self) -> Option<u64> {
+        match self {
+            TraceEvent::SnapshotCapture { dirty_pages } => Some(*dirty_pages),
+            TraceEvent::FramesCopied { frames } => Some(*frames),
+            _ => None,
+        }
+    }
+}
+
+fn cache_offset(c: CacheKind) -> usize {
+    match c {
+        CacheKind::IdleUc => 0,
+        CacheKind::FnSnapshot => 1,
+        CacheKind::Container => 2,
+        CacheKind::Stemcell => 3,
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug)]
+pub struct EventRecord {
+    /// Virtual time the event fired.
+    pub at: SimTime,
+    /// The innermost span open when it fired, if any.
+    pub parent: Option<SpanId>,
+    /// The event itself.
+    pub event: TraceEvent,
+    pub(crate) seq: u64,
+}

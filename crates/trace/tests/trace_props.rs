@@ -1,0 +1,211 @@
+//! Property tests on the tracer invariants (driven by `seuss-check`):
+//!
+//! 1. any interleaving of span opens/closes, clock advances, and events
+//!    leaves a well-formed tree once every guard drops — all spans
+//!    closed, children strictly inside their parents in both time and
+//!    sequence order, event parents valid;
+//! 2. the JSONL export of any such trace round-trips through
+//!    [`validate_jsonl`]: parseable, monotone timestamps, balanced
+//!    enter/exit, nesting respected;
+//! 3. per-phase metrics quantiles stay bracketed by the recorded
+//!    extremes, whatever segments were fed in.
+//!
+//! A failure prints a minimized op-sequence and a `SEUSS_CHECK_SEED`
+//! value that replays it.
+
+use seuss_check::{check, ensure, ensure_eq, gen::Gen};
+use seuss_trace::{
+    validate_jsonl, CacheKind, PathKind, Phase, SpanGuard, SpanName, TraceEvent, Tracer,
+};
+use simcore::SimDuration;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Op {
+    /// Open a span (kind selects the name).
+    Push(u8),
+    /// Close the innermost open span.
+    Pop,
+    /// Advance the virtual clock by `micros`.
+    Advance(u64),
+    /// Emit an event (kind selects which).
+    Event(u8),
+    /// Annotate the innermost open span with a function id and path.
+    Annotate(u64),
+}
+
+fn ops(max_len: usize) -> impl Gen<Value = Vec<Op>> {
+    let push = seuss_check::range(0u8, 8).map(Op::Push);
+    let pop = seuss_check::just(Op::Pop);
+    let advance = seuss_check::range(0u64, 5_000).map(Op::Advance);
+    let event = seuss_check::range(0u8, 12).map(Op::Event);
+    let annotate = seuss_check::range(0u64, 64).map(Op::Annotate);
+    seuss_check::vecs(
+        seuss_check::one_of(vec![
+            push.boxed(),
+            pop.boxed(),
+            advance.boxed(),
+            event.boxed(),
+            annotate.boxed(),
+        ]),
+        1,
+        max_len,
+    )
+}
+
+fn name_for(k: u8) -> SpanName {
+    match k {
+        0 => SpanName::Invoke,
+        1 => SpanName::Resume,
+        2 => SpanName::Dispatch,
+        n => SpanName::Phase(Phase::ALL[(n as usize) % Phase::ALL.len()]),
+    }
+}
+
+fn event_for(k: u8) -> TraceEvent {
+    match k {
+        0 => TraceEvent::PageFault,
+        1 => TraceEvent::CowBreak,
+        2 => TraceEvent::TlbFlush,
+        3 => TraceEvent::SnapshotCapture { dirty_pages: 7 },
+        4 => TraceEvent::SnapshotDeploy,
+        5 => TraceEvent::FramesCopied { frames: 3 },
+        6 => TraceEvent::CacheHit {
+            cache: CacheKind::IdleUc,
+        },
+        7 => TraceEvent::CacheMiss {
+            cache: CacheKind::FnSnapshot,
+        },
+        8 => TraceEvent::ShimHop,
+        9 => TraceEvent::Timeout,
+        10 => TraceEvent::CoreQueued,
+        11 => TraceEvent::ContainerCreate,
+        _ => TraceEvent::ContainerDelete,
+    }
+}
+
+/// Replays an op sequence against a fresh enabled tracer, closing any
+/// spans still open at the end (innermost first, like unwinding).
+fn run_ops(ops: &[Op]) -> Tracer {
+    let t = Tracer::enabled();
+    let mut guards: Vec<SpanGuard> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Push(k) => guards.push(t.span(name_for(*k))),
+            Op::Pop => {
+                guards.pop();
+            }
+            Op::Advance(us) => t.advance(SimDuration::from_micros(*us)),
+            Op::Event(k) => t.event(event_for(*k)),
+            Op::Annotate(f) => {
+                if let Some(g) = guards.last() {
+                    g.annotate_fn(*f);
+                    g.annotate_path(PathKind::ALL[(*f as usize) % PathKind::ALL.len()]);
+                }
+            }
+        }
+    }
+    while let Some(g) = guards.pop() {
+        drop(g);
+    }
+    t
+}
+
+#[test]
+fn span_trees_are_well_formed() {
+    check("trace::well_formed_tree", &ops(40), |ops| {
+        let t = run_ops(ops);
+        ensure_eq!(t.open_spans(), 0);
+        let spans = t.spans();
+        for s in &spans {
+            let end = match s.end {
+                Some(e) => e,
+                None => return Err(format!("span {:?} never closed", s.id)),
+            };
+            ensure!(end >= s.start, "span ends before it starts: {s:?}");
+            ensure!(s.exit_seq() > s.enter_seq(), "exit before enter: {s:?}");
+            if let Some(p) = s.parent {
+                let parent = &spans[p.index()];
+                ensure!(
+                    parent.enter_seq() < s.enter_seq(),
+                    "child entered before parent: {s:?}"
+                );
+                ensure!(
+                    s.exit_seq() < parent.exit_seq(),
+                    "child exited after parent: {s:?}"
+                );
+                ensure!(
+                    parent.start <= s.start && s.end <= parent.end,
+                    "child interval escapes parent: {s:?} vs {parent:?}"
+                );
+            }
+        }
+        for e in &t.events() {
+            if let Some(p) = e.parent {
+                let parent = &spans[p.index()];
+                ensure!(
+                    parent.start <= e.at && Some(e.at) <= parent.end,
+                    "event outside its parent span: {e:?}"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn exported_jsonl_always_validates() {
+    check("trace::jsonl_validates", &ops(40), |ops| {
+        let t = run_ops(ops);
+        let doc = t.export_jsonl();
+        let v = validate_jsonl(&doc).map_err(|e| format!("invalid export: {e}"))?;
+        ensure_eq!(v.enters, t.spans().len());
+        ensure_eq!(v.exits, t.spans().len());
+        ensure_eq!(v.events, t.events().len());
+        Ok(())
+    });
+}
+
+#[test]
+fn metrics_quantiles_stay_bracketed() {
+    let segments = seuss_check::vecs(
+        (
+            seuss_check::range(0usize, 2),
+            seuss_check::vecs(seuss_check::range(1u64, 10_000), 1, 6),
+        ),
+        1,
+        20,
+    );
+    check("trace::quantiles_bracketed", &segments, |segs| {
+        let t = Tracer::enabled();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for (path_idx, durations) in segs {
+            let path = PathKind::ALL[*path_idx];
+            let phases: Vec<(Phase, SimDuration)> = durations
+                .iter()
+                .zip(Phase::ALL)
+                .map(|(&us, p)| (p, SimDuration::from_micros(us)))
+                .collect();
+            for (_, d) in &phases {
+                lo = lo.min(d.as_nanos());
+                hi = hi.max(d.as_nanos());
+            }
+            t.record_segment(path, phases);
+        }
+        let report = t.metrics_report();
+        ensure_eq!(report.segments, segs.len() as u64);
+        // `Histogram::quantile` reports a bucket's *upper bound*, so a
+        // quantile can exceed the true maximum by one bucket ratio (≤ 2×)
+        // but never undershoot the true minimum.
+        let lo_ms = lo as f64 / 1e6;
+        let hi_ms = 2.0 * hi as f64 / 1e6;
+        for (_, _, q) in &report.per_phase {
+            ensure!(
+                q.p50_ms >= lo_ms && q.p99_ms <= hi_ms,
+                "quantiles escape recorded range: {q:?} not in [{lo_ms}, {hi_ms}]"
+            );
+            ensure!(q.p50_ms <= q.p90_ms && q.p90_ms <= q.p99_ms, "q ordering");
+        }
+        Ok(())
+    });
+}

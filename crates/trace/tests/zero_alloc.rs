@@ -1,0 +1,74 @@
+//! The disabled-mode cost contract, asserted: with a disabled tracer,
+//! no trace call allocates heap memory. This is what makes it safe to
+//! leave trace hooks on every hot path — `Tracer::default()` costs one
+//! `Option` check per call and nothing else.
+//!
+//! A counting `GlobalAlloc` wraps the system allocator; the test body
+//! exercises every public tracer entry point and asserts the allocation
+//! counter never moved. (Integration tests are separate crates, so the
+//! library's `#![forbid(unsafe_code)]` does not apply here.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use seuss_trace::{CacheKind, PathKind, Phase, SpanName, TraceEvent, Tracer};
+use simcore::{SimDuration, SimTime};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracer_never_allocates() {
+    let t = Tracer::disabled();
+    let clone = t.clone();
+    let before = ALLOCS.load(Ordering::SeqCst);
+
+    for i in 0..1_000u64 {
+        t.set_clock(SimTime::from_micros(i));
+        let span = t.span(SpanName::Invoke);
+        span.annotate_fn(i);
+        span.annotate_path(PathKind::Hot);
+        {
+            let _phase = clone.span(SpanName::Phase(Phase::Exec));
+            t.advance(SimDuration::from_micros(3));
+            t.event(TraceEvent::PageFault);
+            t.event(TraceEvent::CacheHit {
+                cache: CacheKind::IdleUc,
+            });
+        }
+        t.record_segment(PathKind::Hot, [(Phase::Exec, SimDuration::from_micros(3))]);
+        let _ = t.now();
+        let _ = t.open_spans();
+        let _ = t.is_enabled();
+    }
+
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracer allocated {} times",
+        after - before
+    );
+
+    // Sanity: the counter does observe allocations.
+    let v: Vec<u64> = (0..16).collect();
+    assert!(ALLOCS.load(Ordering::SeqCst) > after, "{v:?}");
+}

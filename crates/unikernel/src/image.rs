@@ -16,6 +16,7 @@ use seuss_snapshot::transfer::{
     export_diff, export_full, import as import_snapshot, SnapshotImage,
 };
 use seuss_snapshot::{SnapshotError, SnapshotId, SnapshotKind, SnapshotStore};
+use seuss_trace::{TraceEvent, Tracer};
 use simcore::SimDuration;
 
 use crate::context::{UcContext, UcError, UcState};
@@ -71,6 +72,8 @@ impl UcImagePackage {
 pub struct ImageStore {
     images: Vec<Option<UcImage>>,
     next_uc_id: u32,
+    /// Tracing handle (disabled by default; the node installs a live one).
+    pub tracer: Tracer,
 }
 
 impl ImageStore {
@@ -225,6 +228,9 @@ impl ImageStore {
             }
         }
         let ops = mmu.stats.since(&ops_before);
+        self.tracer.event(TraceEvent::FramesCopied {
+            frames: ops.pages_copied(),
+        });
         // Mechanical deploy cost: per-op charges for the root copy, table
         // work, COW clones, plus the fixed UC-construction overhead that
         // calibrates warm starts to Table 1 (see seuss-core::cost for the

@@ -22,6 +22,8 @@ pub mod trace;
 pub mod trial;
 
 pub use burst::BurstParams;
-pub use report::{burst_series_csv, fmt_duration_ms, records_csv};
+pub use report::{
+    burst_series_csv, fmt_duration_ms, records_csv, records_jsonl, trial_artifacts, TrialArtifacts,
+};
 pub use trace::{parse_trace, render_trace, TraceError};
 pub use trial::{TrialParams, ZipfTrial};

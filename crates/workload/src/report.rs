@@ -1,6 +1,7 @@
-//! Result rendering: tables, CSV dumps, and figure series.
+//! Result rendering: tables, CSV dumps, figure series, and the bundled
+//! per-trial artifact set (records + optional trace output).
 
-use seuss_platform::{RequestRecord, RequestStatus};
+use seuss_platform::{RequestRecord, RequestStatus, TrialOutput};
 use simcore::SimDuration;
 
 /// Formats a duration as fixed-precision milliseconds.
@@ -19,6 +20,48 @@ pub fn records_csv(records: &[RequestRecord]) -> String {
         ));
     }
     out
+}
+
+/// Dumps request records as JSON Lines — one flat object per request,
+/// the same fields as [`records_csv`].
+pub fn records_jsonl(records: &[RequestRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "{{\"sent_s\":{:.3},\"latency_ms\":{:.3},\"fn\":{},\"status\":\"{:?}\",\"served_by\":\"{:?}\",\"burst\":{}}}\n",
+            r.sent_at_s, r.latency_ms, r.fn_id, r.status, r.served_by, r.burst
+        ));
+    }
+    out
+}
+
+/// Everything one trial produces, rendered and ready to write to disk.
+///
+/// The trace members are `Some` only when the cluster ran with an
+/// enabled [`seuss_trace::Tracer`]; a default (disabled) tracer costs
+/// nothing and yields `None` here.
+#[derive(Clone, Debug)]
+pub struct TrialArtifacts {
+    /// Request records as CSV ([`records_csv`]).
+    pub records_csv: String,
+    /// Request records as JSON Lines ([`records_jsonl`]).
+    pub records_jsonl: String,
+    /// Structured trace of the trial as span/event JSONL.
+    pub trace_jsonl: Option<String>,
+    /// Counter + per-phase/per-path latency quantiles as one JSON object.
+    pub metrics_json: Option<String>,
+}
+
+/// Bundles a finished trial's outputs: the record dumps always, the
+/// trace JSONL and metrics JSON when tracing was enabled.
+pub fn trial_artifacts(out: &TrialOutput) -> TrialArtifacts {
+    let traced = out.tracer.is_enabled();
+    TrialArtifacts {
+        records_csv: records_csv(&out.records),
+        records_jsonl: records_jsonl(&out.records),
+        trace_jsonl: traced.then(|| out.tracer.export_jsonl()),
+        metrics_json: traced.then(|| out.tracer.metrics_report().to_json()),
+    }
 }
 
 /// Renders the Figure 6–8 scatter as an aligned text series, split into
@@ -182,5 +225,54 @@ mod tests {
     #[test]
     fn fmt_helpers() {
         assert_eq!(fmt_duration_ms(SimDuration::from_micros(7_540)), "7.5 ms");
+    }
+
+    #[test]
+    fn jsonl_mirrors_csv() {
+        let jsonl = records_jsonl(&[rec(false, true, 0.5), rec(true, false, 1.0)]);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.starts_with("{\"sent_s\":0.500,"));
+        assert!(jsonl.contains("\"status\":\"Error\""));
+    }
+
+    #[test]
+    fn artifacts_bundle_trace_when_enabled() {
+        use seuss_platform::{
+            run_trial, BackendKind, ClusterConfig, FnKind, Registry, WorkloadSpec,
+        };
+        let node = seuss_core::SeussConfig::builder()
+            .mem_mib(2048)
+            .build()
+            .expect("valid test config");
+        let mut reg = Registry::new();
+        reg.register_many(0, 2, FnKind::Nop);
+        let spec = WorkloadSpec::closed_loop(vec![0, 1, 0, 1], 2);
+        let cfg = ClusterConfig {
+            backend: BackendKind::Seuss(Box::new(node)),
+            tracer: seuss_trace::Tracer::enabled(),
+            ..ClusterConfig::seuss_paper()
+        };
+        let out = run_trial(cfg, reg, &spec);
+        let a = trial_artifacts(&out);
+        assert_eq!(a.records_jsonl.lines().count(), out.records.len());
+        let trace = a.trace_jsonl.expect("tracing was enabled");
+        let v = seuss_trace::validate_jsonl(&trace).expect("well-formed trace");
+        assert!(v.enters > 0 && v.enters == v.exits);
+        assert!(a.metrics_json.expect("metrics").starts_with('{'));
+
+        // A disabled tracer produces records but no trace members.
+        let node = seuss_core::SeussConfig::builder()
+            .mem_mib(2048)
+            .build()
+            .expect("valid test config");
+        let mut reg = Registry::new();
+        reg.register_many(0, 1, FnKind::Nop);
+        let cfg = ClusterConfig {
+            backend: BackendKind::Seuss(Box::new(node)),
+            ..ClusterConfig::seuss_paper()
+        };
+        let out = run_trial(cfg, reg, &WorkloadSpec::closed_loop(vec![0], 1));
+        let a = trial_artifacts(&out);
+        assert!(a.trace_jsonl.is_none() && a.metrics_json.is_none());
     }
 }

@@ -195,8 +195,10 @@ mod tests {
     fn trace_runs_end_to_end() {
         use seuss_platform::{run_trial, BackendKind, ClusterConfig};
         let (reg, spec) = parse_trace(SAMPLE).expect("parse");
-        let mut node = seuss_core::SeussConfig::paper_node();
-        node.mem_mib = 2048;
+        let node = seuss_core::SeussConfig::builder()
+            .mem_mib(2048)
+            .build()
+            .expect("valid test config");
         let cfg = ClusterConfig {
             backend: BackendKind::Seuss(Box::new(node)),
             ..ClusterConfig::seuss_paper()

@@ -170,8 +170,10 @@ mod tests {
                 seed: 3,
             }
             .build();
-            let mut node = SeussConfig::paper_node();
-            node.mem_mib = 2048;
+            let node = SeussConfig::builder()
+                .mem_mib(2048)
+                .build()
+                .expect("valid test config");
             let cfg = ClusterConfig {
                 backend: BackendKind::Seuss(Box::new(node)),
                 ..ClusterConfig::seuss_paper()

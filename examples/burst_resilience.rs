@@ -33,8 +33,10 @@ fn main() {
                 ..ClusterConfig::seuss_paper()
             }
         } else {
-            let mut node = SeussConfig::paper_node();
-            node.mem_mib = 6 * 1024;
+            let node = SeussConfig::builder()
+                .mem_mib(6 * 1024)
+                .build()
+                .expect("valid node config");
             ClusterConfig {
                 backend: BackendKind::Seuss(Box::new(node)),
                 ..ClusterConfig::seuss_paper()

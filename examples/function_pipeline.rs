@@ -56,8 +56,10 @@ fn call(
 }
 
 fn main() {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 4096;
+    let cfg = SeussConfig::builder()
+        .mem_mib(4096)
+        .build()
+        .expect("valid node config");
     let (mut node, _) = SeussNode::new(cfg).expect("node");
 
     let records = [("Ada", "20"), ("Grace", "35"), ("Edsger", "17")];

@@ -36,10 +36,12 @@ fn main() {
 
     // SEUSS: actually deploy UCs until the node is full — the density is
     // not a modeled constant, it emerges from page-table + COW accounting.
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = mem_mib;
-    cfg.idle_per_fn = usize::MAX >> 1;
-    cfg.idle_total = usize::MAX >> 1;
+    let cfg = SeussConfig::builder()
+        .mem_mib(mem_mib)
+        .idle_per_fn(usize::MAX >> 1)
+        .idle_total(usize::MAX >> 1)
+        .build()
+        .expect("valid density config");
     let (mut node, _) = SeussNode::new(cfg).expect("node init");
     let baseline_mib = node.used_mib();
     let mut deployed = 0u64;

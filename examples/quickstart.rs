@@ -24,8 +24,10 @@ fn show(label: &str, inv: Invocation) {
 
 fn main() {
     // A paper-scale node, shrunk to 4 GiB so the example starts fast.
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 4096;
+    let cfg = SeussConfig::builder()
+        .mem_mib(4096)
+        .build()
+        .expect("valid node config");
     println!(
         "booting SEUSS node ({} cores, {} MiB, AO: {:?})…",
         cfg.cores, cfg.mem_mib, cfg.ao

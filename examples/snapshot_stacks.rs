@@ -20,8 +20,10 @@ fn mib(pages: u64) -> f64 {
 }
 
 fn main() {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 8 * 1024;
+    let cfg = SeussConfig::builder()
+        .mem_mib(8 * 1024)
+        .build()
+        .expect("valid node config");
     let (mut node, _) = SeussNode::new(cfg).expect("node init");
 
     let foo_src = "function main(args) { return 'foo says ' + (6 * 7); }";

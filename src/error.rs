@@ -1,0 +1,179 @@
+//! The workspace-level error surface.
+//!
+//! Every mechanism crate defines its own narrow error enum (a frame pool
+//! can only run out of frames; a bridge can only hit its endpoint limit).
+//! Code that drives the whole system — benchmarks, examples, integration
+//! tests — crosses several of those layers in one expression, so this
+//! module folds them into a single [`enum@Error`] with `From` conversions,
+//! letting `?` propagate any of them through one signature.
+
+use seuss_baseline::DockerError;
+use seuss_core::{ConfigError, NodeError};
+use seuss_mem::MemError;
+use seuss_net::{BridgeError, ProxyError};
+use seuss_paging::PageFault;
+use seuss_snapshot::SnapshotError;
+use seuss_unikernel::UcError;
+
+/// Any failure the SEUSS workspace can produce, by originating layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// A rejected node configuration (builder validation).
+    Config(ConfigError),
+    /// A node-level failure (OOM, function error, bad token).
+    Node(NodeError),
+    /// A UC-level failure (load, script, bad state).
+    Uc(UcError),
+    /// A snapshot store failure (dangling id, live dependents).
+    Snapshot(SnapshotError),
+    /// Physical frame pool exhaustion.
+    Mem(MemError),
+    /// An unresolvable page fault.
+    Fault(PageFault),
+    /// A Docker baseline failure (cache full, bridge, unknown id).
+    Docker(DockerError),
+    /// A bridge admission failure (endpoint limit).
+    Bridge(BridgeError),
+    /// A NAT proxy failure (ports exhausted, no route).
+    Proxy(ProxyError),
+}
+
+impl Error {
+    /// True when the underlying cause is physical memory exhaustion,
+    /// whichever layer reported it. The OOM daemon and the density
+    /// experiments branch on this.
+    pub fn is_out_of_memory(&self) -> bool {
+        matches!(
+            self,
+            Error::Node(NodeError::OutOfMemory)
+                | Error::Uc(UcError::Mem(_))
+                | Error::Uc(UcError::Fault(PageFault::OutOfMemory(_)))
+                | Error::Snapshot(SnapshotError::OutOfMemory)
+                | Error::Mem(_)
+                | Error::Fault(PageFault::OutOfMemory(_))
+        )
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "{e}"),
+            Error::Node(e) => write!(f, "{e}"),
+            Error::Uc(e) => write!(f, "{e}"),
+            Error::Snapshot(e) => write!(f, "{e}"),
+            Error::Mem(e) => write!(f, "{e}"),
+            Error::Fault(e) => write!(f, "{e}"),
+            Error::Docker(e) => write!(f, "{e}"),
+            Error::Bridge(e) => write!(f, "{e}"),
+            Error::Proxy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Node(e) => Some(e),
+            Error::Uc(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
+            Error::Mem(e) => Some(e),
+            Error::Fault(e) => Some(e),
+            Error::Docker(e) => Some(e),
+            Error::Bridge(e) => Some(e),
+            Error::Proxy(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<NodeError> for Error {
+    fn from(e: NodeError) -> Self {
+        Error::Node(e)
+    }
+}
+
+impl From<UcError> for Error {
+    fn from(e: UcError) -> Self {
+        Error::Uc(e)
+    }
+}
+
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
+impl From<MemError> for Error {
+    fn from(e: MemError) -> Self {
+        Error::Mem(e)
+    }
+}
+
+impl From<PageFault> for Error {
+    fn from(e: PageFault) -> Self {
+        Error::Fault(e)
+    }
+}
+
+impl From<DockerError> for Error {
+    fn from(e: DockerError) -> Self {
+        Error::Docker(e)
+    }
+}
+
+impl From<BridgeError> for Error {
+    fn from(e: BridgeError) -> Self {
+        Error::Bridge(e)
+    }
+}
+
+impl From<ProxyError> for Error {
+    fn from(e: ProxyError) -> Self {
+        Error::Proxy(e)
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deploy_cold() -> Result<&'static str> {
+        let _cfg = seuss_core::SeussConfig::test_builder().build()?;
+        Err(NodeError::OutOfMemory)?;
+        Ok("unreachable")
+    }
+
+    #[test]
+    fn question_mark_crosses_layers() {
+        let e = deploy_cold().unwrap_err();
+        assert_eq!(e, Error::Node(NodeError::OutOfMemory));
+        assert!(e.is_out_of_memory());
+    }
+
+    #[test]
+    fn oom_detection_spans_layers() {
+        assert!(Error::from(MemError::OutOfFrames).is_out_of_memory());
+        assert!(Error::from(SnapshotError::OutOfMemory).is_out_of_memory());
+        assert!(Error::from(UcError::Mem(MemError::OutOfFrames)).is_out_of_memory());
+        assert!(!Error::from(NodeError::UnknownToken).is_out_of_memory());
+        assert!(!Error::from(DockerError::CacheFull).is_out_of_memory());
+    }
+
+    #[test]
+    fn display_and_source_delegate() {
+        let e = Error::from(ConfigError::ZeroCores);
+        assert!(e.to_string().contains("cores"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

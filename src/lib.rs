@@ -35,8 +35,10 @@
 //! ```
 //! use seuss::core::{Invocation, SeussConfig, SeussNode};
 //!
-//! let mut cfg = SeussConfig::paper_node();
-//! cfg.mem_mib = 2048; // shrink for the doctest
+//! let cfg = SeussConfig::builder()
+//!     .mem_mib(2048) // shrink for the doctest
+//!     .build()
+//!     .unwrap();
 //! let (mut node, _init) = SeussNode::new(cfg).unwrap();
 //! let src = "function main(args) { return 6 * 7; }";
 //! match node.invoke(1, src, &[]).unwrap() {
@@ -52,6 +54,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
+
+pub use error::{Error, Result};
+
 pub use miniscript as interp;
 pub use seuss_baseline as baseline;
 pub use seuss_core as core;
@@ -60,6 +66,7 @@ pub use seuss_net as net;
 pub use seuss_paging as paging;
 pub use seuss_platform as platform;
 pub use seuss_snapshot as snapshot;
+pub use seuss_trace as trace;
 pub use seuss_unikernel as unikernel;
 pub use seuss_workload as workload;
 pub use simcore as sim;

@@ -7,8 +7,10 @@ use seuss::platform::{run_trial, BackendKind, ClusterConfig};
 use seuss::workload::{records_csv, BurstParams, TrialParams};
 
 fn seuss_cfg() -> ClusterConfig {
-    let mut node = SeussConfig::paper_node();
-    node.mem_mib = 2048;
+    let node = SeussConfig::builder()
+        .mem_mib(2048)
+        .build()
+        .expect("valid config");
     ClusterConfig {
         backend: BackendKind::Seuss(Box::new(node)),
         ..ClusterConfig::seuss_paper()

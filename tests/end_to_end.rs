@@ -10,8 +10,10 @@ use seuss::platform::{
 use seuss::sim::SimDuration;
 
 fn small_node() -> SeussNode {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 2048;
+    let cfg = SeussConfig::builder()
+        .mem_mib(2048)
+        .build()
+        .expect("valid config");
     SeussNode::new(cfg).expect("node").0
 }
 
@@ -73,8 +75,10 @@ fn io_bound_invocation_round_trips_through_node() {
 
 #[test]
 fn sustained_unique_function_load_stays_within_memory() {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 1024; // deliberately tight
+    let cfg = SeussConfig::builder()
+        .mem_mib(1024) // deliberately tight
+        .build()
+        .expect("valid config");
     let (mut node, _) = SeussNode::new(cfg).expect("node");
     let src = "function main(args) { return 1; }";
     let capacity = node.mem.stats().capacity_frames;
@@ -118,8 +122,10 @@ fn platform_trial_mixed_kinds_end_to_end() {
     let order: Vec<u64> = (0..60).map(|i| i % 5).collect();
     let spec = WorkloadSpec::closed_loop(order, 6);
 
-    let mut node = SeussConfig::paper_node();
-    node.mem_mib = 2048;
+    let node = SeussConfig::builder()
+        .mem_mib(2048)
+        .build()
+        .expect("valid config");
     let cfg = ClusterConfig {
         backend: BackendKind::Seuss(Box::new(node)),
         ..ClusterConfig::seuss_paper()
@@ -146,9 +152,11 @@ fn ao_is_worth_it_end_to_end() {
     // The same tiny trial on a no-AO node and a full-AO node: full AO
     // must deliver strictly better cold latency.
     let run = |ao: AoLevel| {
-        let mut node = SeussConfig::paper_node();
-        node.mem_mib = 2048;
-        node.ao = ao;
+        let node = SeussConfig::builder()
+            .mem_mib(2048)
+            .ao_level(ao)
+            .build()
+            .expect("valid config");
         let cfg = ClusterConfig {
             backend: BackendKind::Seuss(Box::new(node)),
             ..ClusterConfig::seuss_paper()

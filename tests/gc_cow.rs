@@ -21,8 +21,10 @@ const CHURN: &str = r#"
 
 #[test]
 fn gc_after_snapshot_forces_cow_breaks() {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 2048;
+    let cfg = SeussConfig::builder()
+        .mem_mib(2048)
+        .build()
+        .expect("valid config");
     let (mut node, _) = SeussNode::new(cfg).expect("node");
 
     // Build the function snapshot and one idle UC.
@@ -50,8 +52,10 @@ fn gc_before_capture_bloats_the_snapshot_diff() {
     // Two nodes, same function; one runs a GC between compile and
     // capture. Its function snapshot must carry more pages.
     let diff_pages = |gc: bool| -> u64 {
-        let mut cfg = SeussConfig::paper_node();
-        cfg.mem_mib = 2048;
+        let cfg = SeussConfig::builder()
+            .mem_mib(2048)
+            .build()
+            .expect("valid config");
         let (mut node, _) = SeussNode::new(cfg).expect("node");
         // Reach inside the cold path manually to control capture timing.
         let base = node.runtime_image().expect("base");

@@ -7,9 +7,11 @@ use seuss::core::{Invocation, RuntimeKind, SeussConfig, SeussNode};
 use seuss::platform::{run_trial, BackendKind, ClusterConfig, FnKind, Registry, WorkloadSpec};
 
 fn dual_node(mem_mib: u64) -> SeussNode {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = mem_mib;
-    cfg.runtimes = vec![RuntimeKind::NodeJs, RuntimeKind::Python];
+    let cfg = SeussConfig::builder()
+        .mem_mib(mem_mib)
+        .runtimes(vec![RuntimeKind::NodeJs, RuntimeKind::Python])
+        .build()
+        .expect("valid config");
     SeussNode::new(cfg).expect("node").0
 }
 
@@ -92,8 +94,10 @@ fn python_cold_start_differs_from_nodejs() {
 
 #[test]
 fn unconfigured_runtime_is_an_error() {
-    let mut cfg = SeussConfig::paper_node();
-    cfg.mem_mib = 2048; // NodeJs only
+    let cfg = SeussConfig::builder()
+        .mem_mib(2048) // NodeJs only
+        .build()
+        .expect("valid config");
     let (mut node, _) = SeussNode::new(cfg).expect("node");
     assert!(node
         .invoke_on(
@@ -114,9 +118,11 @@ fn mixed_runtime_platform_trial() {
     }
     let order: Vec<u64> = (0..48).map(|i| i % 6).collect();
     let spec = WorkloadSpec::closed_loop(order, 4);
-    let mut node_cfg = SeussConfig::paper_node();
-    node_cfg.mem_mib = 2048;
-    node_cfg.runtimes = vec![RuntimeKind::NodeJs, RuntimeKind::Python];
+    let node_cfg = SeussConfig::builder()
+        .mem_mib(2048)
+        .runtimes(vec![RuntimeKind::NodeJs, RuntimeKind::Python])
+        .build()
+        .expect("valid config");
     let cfg = ClusterConfig {
         backend: BackendKind::Seuss(Box::new(node_cfg)),
         ..ClusterConfig::seuss_paper()
