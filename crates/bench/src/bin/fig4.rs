@@ -2,14 +2,14 @@
 //! of unique functions being invoked (both backends).
 //!
 //! ```sh
-//! cargo run --release -p seuss-bench --bin fig4 [max_set_size] [mem_mib]
+//! cargo run --release -p seuss-bench --bin fig4 [max_set_size] [mem_mib] [--workers N]
 //! ```
 //!
 //! The full sweep (64 … 65536 on an 88 GiB node) takes a while; the
 //! default stops at 16384 with a 24 GiB node, which shows the whole
 //! shape. Output is a text series plus a log-scale ASCII plot.
 
-use seuss_bench::{run_fig4, Table};
+use seuss_bench::{positionals, run_fig4, workers_arg, Table};
 
 fn bar(v: f64, max: f64, width: usize) -> String {
     if v <= 0.0 {
@@ -21,23 +21,30 @@ fn bar(v: f64, max: f64, width: usize) -> String {
 }
 
 fn main() {
-    let max_m: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16_384);
-    let mem_mib: u64 = std::env::args()
-        .nth(2)
+    let args = positionals();
+    let max_m: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(16_384);
+    let mem_mib: u64 = args
+        .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(24 * 1024);
+    let workers = workers_arg(1);
     let mut sizes = Vec::new();
     let mut m = 64u64;
     while m <= max_m {
         sizes.push(m);
         m *= 2;
     }
-    eprintln!("running Figure 4 sweep over set sizes {sizes:?} (SEUSS node {mem_mib} MiB)…");
+    eprintln!(
+        "running Figure 4 sweep over set sizes {sizes:?} (SEUSS node {mem_mib} MiB, {workers} worker threads)…"
+    );
 
-    let points = run_fig4(&sizes, None, mem_mib);
+    let started = std::time::Instant::now();
+    let points = run_fig4(&sizes, None, mem_mib, workers);
+    let wall = started.elapsed();
+    eprintln!(
+        "sweep took {:.2} s on {workers} worker threads",
+        wall.as_secs_f64()
+    );
 
     let mut t = Table::new(
         "Figure 4: platform throughput vs unique-function set size",

@@ -2,19 +2,25 @@
 //! function at three function set sizes.
 //!
 //! ```sh
-//! cargo run --release -p seuss-bench --bin fig5 [mem_mib]
+//! cargo run --release -p seuss-bench --bin fig5 [mem_mib] [--workers N]
 //! ```
 
-use seuss_bench::{run_fig5, Table};
+use seuss_bench::{positionals, run_fig5, workers_arg, Table};
 
 fn main() {
-    let mem_mib: u64 = std::env::args()
-        .nth(1)
+    let mem_mib: u64 = positionals()
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(24 * 1024);
+    let workers = workers_arg(1);
     let sizes = [64, 2_048, 16_384];
-    eprintln!("running Figure 5 at set sizes {sizes:?}…");
-    let rows = run_fig5(&sizes, None, mem_mib);
+    eprintln!("running Figure 5 at set sizes {sizes:?} ({workers} worker threads)…");
+    let started = std::time::Instant::now();
+    let rows = run_fig5(&sizes, None, mem_mib, workers);
+    eprintln!(
+        "sweep took {:.2} s on {workers} worker threads",
+        started.elapsed().as_secs_f64()
+    );
 
     for row in &rows {
         let mut t = Table::new(

@@ -2,14 +2,14 @@
 //! configurable period (32 s = Figure 6, 16 s = Figure 7, 8 s = Figure 8).
 //!
 //! ```sh
-//! cargo run --release -p seuss-bench --bin fig6 -- [period_s] [csv_path]
+//! cargo run --release -p seuss-bench --bin fig6 -- [period_s] [csv_path] [--workers N]
 //! ```
 //!
 //! Prints summary counts and an ASCII timeline; optionally dumps the full
 //! scatter (every request's send time, latency, and error mark) as CSV
 //! for plotting.
 
-use seuss_bench::run_burst;
+use seuss_bench::{positionals, run_burst, workers_arg};
 use seuss_platform::RequestStatus;
 use seuss_workload::{burst_series_csv, BurstParams};
 
@@ -44,17 +44,21 @@ fn timeline(records: &[seuss_platform::RequestRecord], span_s: f64) -> String {
 }
 
 fn main() {
-    let period: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32);
-    let csv_path = std::env::args().nth(2);
+    let args = positionals();
+    let period: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let csv_path = args.get(1).cloned();
+    let workers = workers_arg(2);
     let params = BurstParams::paper(period);
     eprintln!(
-        "running burst experiment: {} bursts of {} CPU-bound requests every {period}s over a 72 rps IO background…",
+        "running burst experiment: {} bursts of {} CPU-bound requests every {period}s over a 72 rps IO background ({workers} worker threads)…",
         params.bursts, params.burst_size
     );
-    let out = run_burst(params, 16 * 1024);
+    let started = std::time::Instant::now();
+    let out = run_burst(params, 16 * 1024, workers);
+    eprintln!(
+        "both backends took {:.2} s on {workers} worker threads",
+        started.elapsed().as_secs_f64()
+    );
     let span = params.span().as_secs_f64();
 
     println!("== Request burst sent every {period} seconds ==\n");

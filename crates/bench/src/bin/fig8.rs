@@ -4,11 +4,11 @@
 //! cargo run --release -p seuss-bench --bin fig8
 //! ```
 
-use seuss_bench::run_burst;
+use seuss_bench::{run_burst, workers_arg};
 use seuss_workload::BurstParams;
 
 fn main() {
-    let out = run_burst(BurstParams::paper(8), 16 * 1024);
+    let out = run_burst(BurstParams::paper(8), 16 * 1024, workers_arg(2));
     println!("== Request burst sent every 8 seconds ==");
     for (name, side) in [("Linux", &out.linux), ("SEUSS", &out.seuss)] {
         println!(

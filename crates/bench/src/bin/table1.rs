@@ -2,18 +2,24 @@
 //! invocation latency and footprint over cold/warm/hot paths).
 //!
 //! ```sh
-//! cargo run --release -p seuss-bench --bin table1 [iterations]
+//! cargo run --release -p seuss-bench --bin table1 [iterations] [--workers N]
 //! ```
 
-use seuss_bench::{ratio, run_table1, Table};
+use seuss_bench::{positionals, ratio, run_table1, workers_arg, Table};
 
 fn main() {
-    let iterations: u32 = std::env::args()
-        .nth(1)
+    let iterations: u32 = positionals()
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(475);
-    eprintln!("running Table 1 microbenchmarks ({iterations} invocations per path)…");
-    let r = run_table1(iterations);
+    let workers = workers_arg(2);
+    eprintln!("running Table 1 microbenchmarks ({iterations} invocations per path, {workers} worker threads)…");
+    let started = std::time::Instant::now();
+    let r = run_table1(iterations, workers);
+    eprintln!(
+        "took {:.2} s on {workers} worker threads",
+        started.elapsed().as_secs_f64()
+    );
 
     let mut top = Table::new(
         "Table 1 (top): snapshot memory footprint",

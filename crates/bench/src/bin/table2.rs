@@ -1,18 +1,26 @@
 //! Regenerates Table 2: latency improvements across AO levels.
 //!
 //! ```sh
-//! cargo run --release -p seuss-bench --bin table2 [iterations]
+//! cargo run --release -p seuss-bench --bin table2 [iterations] [--workers N]
 //! ```
 
-use seuss_bench::{ratio, run_table2, Table};
+use seuss_bench::{positionals, ratio, run_table2, workers_arg, Table};
 
 fn main() {
-    let iterations: u32 = std::env::args()
-        .nth(1)
+    let iterations: u32 = positionals()
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(100);
-    eprintln!("running Table 2 AO ablation ({iterations} invocations per cell)…");
-    let r = run_table2(iterations);
+    let workers = workers_arg(3);
+    eprintln!(
+        "running Table 2 AO ablation ({iterations} invocations per cell, {workers} worker threads)…"
+    );
+    let started = std::time::Instant::now();
+    let r = run_table2(iterations, workers);
+    eprintln!(
+        "took {:.2} s on {workers} worker threads",
+        started.elapsed().as_secs_f64()
+    );
 
     let mut t = Table::new(
         "Table 2: latency across anticipatory optimizations",

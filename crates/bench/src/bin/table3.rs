@@ -2,23 +2,31 @@
 //! four isolation methods.
 //!
 //! ```sh
-//! cargo run --release -p seuss-bench --bin table3 [seuss_fill_cap]
+//! cargo run --release -p seuss-bench --bin table3 [seuss_fill_cap] [--workers N]
 //! ```
 //!
 //! The optional cap limits how many UCs the SEUSS density fill actually
 //! deploys before extrapolating from the (constant) per-UC footprint;
 //! pass 0 to fill all of the 88 GB node with real deploys.
 
-use seuss_bench::{run_table3, Table};
+use seuss_bench::{positionals, run_table3, workers_arg, Table};
 
 fn main() {
-    let cap: u64 = std::env::args()
-        .nth(1)
+    let cap: u64 = positionals()
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(8_000);
     let cap = if cap == 0 { None } else { Some(cap) };
-    eprintln!("running Table 3 (88 GiB node, 16 cores; SEUSS fill cap {cap:?})…");
-    let r = run_table3(88 * 1024, cap);
+    let workers = workers_arg(4);
+    eprintln!(
+        "running Table 3 (88 GiB node, 16 cores; SEUSS fill cap {cap:?}; {workers} worker threads)…"
+    );
+    let started = std::time::Instant::now();
+    let r = run_table3(88 * 1024, cap, workers);
+    eprintln!(
+        "took {:.2} s on {workers} worker threads",
+        started.elapsed().as_secs_f64()
+    );
 
     let mut t = Table::new(
         "Table 3: creation rate and cache density (Node.js environments)",

@@ -1,0 +1,93 @@
+//! Tiny argv helpers shared by the bench binaries: every driver accepts
+//! a `--workers N` (or `-j N`) flag selecting how many OS threads the
+//! experiment sweep runs on, falling back to the `SEUSS_EXEC_WORKERS`
+//! environment variable. Worker count is execution speed only — results
+//! are byte-identical at every value (see `seuss-exec`).
+
+/// Parses a worker count out of `args`: `--workers N`, `--workers=N`,
+/// or `-j N`.
+fn parse_workers(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--workers" || a == "-j" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--workers=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// `args` with any workers flags (and their values) removed, so the
+/// binaries' existing positional arguments keep working unchanged.
+fn strip_workers(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--workers" || a == "-j" {
+            skip_value = true;
+            continue;
+        }
+        if a.starts_with("--workers=") {
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+/// The worker-thread count for this invocation: the `--workers` flag if
+/// present, else the [`seuss_exec::WORKERS_ENV`] environment variable,
+/// else `default`. Always at least 1.
+pub fn workers_arg(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_workers(&args)
+        .or_else(|| {
+            std::env::var(seuss_exec::WORKERS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// The positional command-line arguments (workers flags stripped).
+pub fn positionals() -> Vec<String> {
+    strip_workers(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_every_flag_spelling() {
+        assert_eq!(parse_workers(&v(&["--workers", "4"])), Some(4));
+        assert_eq!(parse_workers(&v(&["--workers=8"])), Some(8));
+        assert_eq!(parse_workers(&v(&["-j", "2"])), Some(2));
+        assert_eq!(parse_workers(&v(&["64", "--workers", "3"])), Some(3));
+        assert_eq!(parse_workers(&v(&["64"])), None);
+        assert_eq!(parse_workers(&v(&["--workers"])), None);
+        assert_eq!(parse_workers(&v(&["--workers", "nope"])), None);
+    }
+
+    #[test]
+    fn stripping_preserves_positionals() {
+        assert_eq!(
+            strip_workers(&v(&["64", "--workers", "4", "out.csv"])),
+            v(&["64", "out.csv"])
+        );
+        assert_eq!(strip_workers(&v(&["--workers=4", "64"])), v(&["64"]));
+        assert_eq!(strip_workers(&v(&["-j", "2"])), Vec::<String>::new());
+        assert_eq!(strip_workers(&v(&["a", "b"])), v(&["a", "b"]));
+    }
+}

@@ -42,29 +42,43 @@ fn seuss_cluster(mem_mib: u64) -> ClusterConfig {
 ///
 /// `invocations_per_trial` overrides N when `Some` (tests use small N);
 /// `mem_mib` sizes the SEUSS node (the paper's 88 GB for the full run).
+/// The sweep's (set size × backend) cells are independent trials, so
+/// they run on `workers` threads via [`seuss_exec::ordered_parallel`];
+/// results are identical at every worker count.
 pub fn run_fig4(
     set_sizes: &[u64],
     invocations_per_trial: Option<u64>,
     mem_mib: u64,
+    workers: usize,
 ) -> Vec<Fig4Point> {
+    // One cell per (set size, backend); results come back in input order.
+    let cells: Vec<(u64, bool)> = set_sizes
+        .iter()
+        .flat_map(|&m| [(m, true), (m, false)])
+        .collect();
+    let measured = seuss_exec::ordered_parallel(cells, workers, |_, (m, is_seuss)| {
+        let mut params = TrialParams::throughput(m, 42);
+        if let Some(n) = invocations_per_trial {
+            params.invocations = n.max(m);
+        }
+        let (reg, spec) = params.build();
+        let cfg = if is_seuss {
+            seuss_cluster(mem_mib)
+        } else {
+            ClusterConfig::linux_paper()
+        };
+        let out = run_trial(cfg, reg, &spec);
+        (out.analysis.steady_throughput_rps, out.analysis.errors)
+    });
     set_sizes
         .iter()
-        .map(|&m| {
-            let mut params = TrialParams::throughput(m, 42);
-            if let Some(n) = invocations_per_trial {
-                params.invocations = n.max(m);
-            }
-            let (reg_s, spec_s) = params.build();
-            let seuss = run_trial(seuss_cluster(mem_mib), reg_s, &spec_s);
-            let (reg_l, spec_l) = params.build();
-            let linux = run_trial(ClusterConfig::linux_paper(), reg_l, &spec_l);
-            Fig4Point {
-                set_size: m,
-                seuss_rps: seuss.analysis.steady_throughput_rps,
-                linux_rps: linux.analysis.steady_throughput_rps,
-                linux_errors: linux.analysis.errors,
-                seuss_errors: seuss.analysis.errors,
-            }
+        .zip(measured.chunks_exact(2))
+        .map(|(&m, pair)| Fig4Point {
+            set_size: m,
+            seuss_rps: pair[0].0,
+            seuss_errors: pair[0].1,
+            linux_rps: pair[1].0,
+            linux_errors: pair[1].1,
         })
         .collect()
 }
@@ -77,7 +91,7 @@ mod tests {
     fn fig4_crossover_shape() {
         // Small-memory, small-N rendition of the sweep: the crossover and
         // collapse must still appear.
-        let pts = run_fig4(&[64, 2048], Some(4096), 3 * 1024);
+        let pts = run_fig4(&[64, 2048], Some(4096), 3 * 1024, 2);
         let small = &pts[0];
         let big = &pts[1];
         // Small working set: Linux ahead (the shim hop), within ~10–40%.

@@ -21,40 +21,50 @@ pub struct Fig5Row {
     pub linux: PercentileSummary,
 }
 
-/// Runs Figure 5 at the given set sizes.
+/// Runs Figure 5 at the given set sizes. The (set size × backend) cells
+/// run on `workers` threads; results are identical at every worker
+/// count.
 pub fn run_fig5(
     set_sizes: &[u64],
     invocations_per_trial: Option<u64>,
     mem_mib: u64,
+    workers: usize,
 ) -> Vec<Fig5Row> {
     use seuss_core::{AoLevel, SeussConfig};
     use seuss_platform::{BackendKind, ClusterConfig};
 
-    set_sizes
+    let cells: Vec<(u64, bool)> = set_sizes
         .iter()
-        .map(|&m| {
-            let mut params = TrialParams::throughput(m, 42);
-            if let Some(n) = invocations_per_trial {
-                params.invocations = n.max(m);
-            }
+        .flat_map(|&m| [(m, true), (m, false)])
+        .collect();
+    let measured = seuss_exec::ordered_parallel(cells, workers, |_, (m, is_seuss)| {
+        let mut params = TrialParams::throughput(m, 42);
+        if let Some(n) = invocations_per_trial {
+            params.invocations = n.max(m);
+        }
+        let cfg = if is_seuss {
             let node = SeussConfig::builder()
                 .mem_mib(mem_mib)
                 .ao_level(AoLevel::NetworkAndInterpreter)
                 .build()
                 .expect("valid fig5 config");
-            let seuss_cfg = ClusterConfig {
+            ClusterConfig {
                 backend: BackendKind::Seuss(Box::new(node)),
                 ..ClusterConfig::seuss_paper()
-            };
-            let (reg_s, spec_s) = params.build();
-            let seuss = run_trial(seuss_cfg, reg_s, &spec_s);
-            let (reg_l, spec_l) = params.build();
-            let linux = run_trial(ClusterConfig::linux_paper(), reg_l, &spec_l);
-            Fig5Row {
-                set_size: m,
-                seuss: seuss.analysis.latency,
-                linux: linux.analysis.latency,
             }
+        } else {
+            ClusterConfig::linux_paper()
+        };
+        let (reg, spec) = params.build();
+        run_trial(cfg, reg, &spec).analysis.latency
+    });
+    set_sizes
+        .iter()
+        .zip(measured.chunks_exact(2))
+        .map(|(&m, pair)| Fig5Row {
+            set_size: m,
+            seuss: pair[0],
+            linux: pair[1],
         })
         .collect()
 }
@@ -65,7 +75,7 @@ mod tests {
 
     #[test]
     fn fig5_distribution_shape() {
-        let rows = run_fig5(&[64, 2048], Some(4096), 3 * 1024);
+        let rows = run_fig5(&[64, 2048], Some(4096), 3 * 1024, 2);
         let small = &rows[0];
         let big = &rows[1];
         // Small set: medians within tens of ms; Linux lower.

@@ -77,34 +77,40 @@ fn side(records: Vec<RequestRecord>) -> BurstSide {
 ///
 /// `params` override lets tests shrink the run; `mem_mib` sizes the SEUSS
 /// node. The Linux node runs with the paper's burst configuration: the
-/// stemcell cache enabled at 256.
-pub fn run_burst(params: BurstParams, mem_mib: u64) -> BurstOutcome {
-    let (reg_l, spec_l) = params.build();
-    let linux_cfg = ClusterConfig {
-        backend: BackendKind::Linux {
-            cache_limit: 1024,
-            stemcell_target: 256,
-        },
-        ..ClusterConfig::seuss_paper()
-    };
-    let linux = run_trial(linux_cfg, reg_l, &spec_l);
+/// stemcell cache enabled at 256. The two backends are independent
+/// trials and run on `workers` threads; results are identical at every
+/// worker count.
+pub fn run_burst(params: BurstParams, mem_mib: u64, workers: usize) -> BurstOutcome {
+    let mut sides = seuss_exec::ordered_parallel(vec![false, true], workers, |_, is_seuss| {
+        let (reg, spec) = params.build();
+        let cfg = if is_seuss {
+            let node = SeussConfig::builder()
+                .mem_mib(mem_mib)
+                .ao_level(AoLevel::NetworkAndInterpreter)
+                .build()
+                .expect("valid burst config");
+            ClusterConfig {
+                backend: BackendKind::Seuss(Box::new(node)),
+                ..ClusterConfig::seuss_paper()
+            }
+        } else {
+            ClusterConfig {
+                backend: BackendKind::Linux {
+                    cache_limit: 1024,
+                    stemcell_target: 256,
+                },
+                ..ClusterConfig::seuss_paper()
+            }
+        };
+        side(run_trial(cfg, reg, &spec).records)
+    });
 
-    let (reg_s, spec_s) = params.build();
-    let node = SeussConfig::builder()
-        .mem_mib(mem_mib)
-        .ao_level(AoLevel::NetworkAndInterpreter)
-        .build()
-        .expect("valid burst config");
-    let seuss_cfg = ClusterConfig {
-        backend: BackendKind::Seuss(Box::new(node)),
-        ..ClusterConfig::seuss_paper()
-    };
-    let seuss = run_trial(seuss_cfg, reg_s, &spec_s);
-
+    let seuss = sides.pop().expect("seuss side");
+    let linux = sides.pop().expect("linux side");
     BurstOutcome {
         period_s: params.period_s,
-        linux: side(linux.records),
-        seuss: side(seuss.records),
+        linux,
+        seuss,
     }
 }
 
@@ -120,7 +126,7 @@ mod tests {
         // the paper's failure mechanism.
         let mut p = BurstParams::paper(8);
         p.bursts = 8;
-        let out = run_burst(p, 4 * 1024);
+        let out = run_burst(p, 4 * 1024, 2);
         // SEUSS: no request returns an error (the paper's headline).
         assert_eq!(out.seuss.background_err, 0, "SEUSS background errors");
         assert_eq!(out.seuss.burst_err, 0, "SEUSS burst errors");

@@ -19,10 +19,16 @@
 //! compile/exec, and the design-choice ablations from DESIGN.md), driven
 //! by the in-tree [`timing`] harness — criterion's API surface without
 //! its dependency tree, keeping the workspace fully offline-buildable.
+//!
+//! Every driver takes a `workers` thread count (binaries: `--workers N`
+//! or the `SEUSS_EXEC_WORKERS` env var) and fans its independent trials
+//! out through [`seuss_exec::ordered_parallel`]; results are
+//! byte-identical at every worker count, only the wall clock changes.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod fig4;
 pub mod fig5;
 pub mod figburst;
@@ -33,6 +39,7 @@ pub mod table3;
 pub mod timing;
 pub mod traced;
 
+pub use cli::{positionals, workers_arg};
 pub use fig4::{run_fig4, Fig4Point};
 pub use fig5::{run_fig5, Fig5Row};
 pub use figburst::{run_burst, BurstOutcome};
@@ -41,4 +48,4 @@ pub use table1::{run_table1, Table1Results};
 pub use table2::{run_table2, Table2Results};
 pub use table3::{run_table3, IsolationRow, Table3Results};
 pub use timing::{BatchSize, Bencher, BenchmarkId, Harness};
-pub use traced::{run_trace_smoke, TraceSmoke};
+pub use traced::{run_trace_smoke, TraceSmoke, TRACE_SMOKE_SHARDS};

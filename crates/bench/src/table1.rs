@@ -79,18 +79,37 @@ fn drain_idle(node: &mut SeussNode, f: u64) {
 /// Runs the Table 1 experiment.
 ///
 /// `iterations` is the per-path invocation count (paper: 475; tests use
-/// fewer). Memory is scaled to hold the working set comfortably.
-pub fn run_table1(iterations: u32) -> Table1Results {
-    let mut r = Table1Results::default();
+/// fewer). Memory is scaled to hold the working set comfortably. The
+/// pre-AO and post-AO halves use separate nodes and run on `workers`
+/// threads; results are identical at every worker count.
+pub fn run_table1(iterations: u32, workers: usize) -> Table1Results {
+    let halves = seuss_exec::ordered_parallel(vec![false, true], workers, |_, with_ao| {
+        if with_ao {
+            measure_ao_half(iterations)
+        } else {
+            measure_pre_ao_half()
+        }
+    });
+    let mut r = halves[1];
+    r.base_snapshot_mib = halves[0].base_snapshot_mib;
+    r.fn_snapshot_mib = halves[0].fn_snapshot_mib;
+    r
+}
 
-    // Snapshot sizes before AO.
-    {
-        let mut node = node_with(AoLevel::None, 6 * 1024);
-        r.base_snapshot_mib = base_snapshot_mib(&node);
-        r.fn_snapshot_mib = fn_snapshot_mib(&mut node);
+/// Snapshot sizes before AO (its own node; independent of the AO half).
+fn measure_pre_ao_half() -> Table1Results {
+    let mut node = node_with(AoLevel::None, 6 * 1024);
+    let base = base_snapshot_mib(&node);
+    Table1Results {
+        base_snapshot_mib: base,
+        fn_snapshot_mib: fn_snapshot_mib(&mut node),
+        ..Table1Results::default()
     }
+}
 
-    // Snapshot sizes and the three paths after AO.
+/// Snapshot sizes and the three invocation paths after AO.
+fn measure_ao_half(iterations: u32) -> Table1Results {
+    let mut r = Table1Results::default();
     let mut node = node_with(AoLevel::NetworkAndInterpreter, 8 * 1024);
     r.base_snapshot_ao_mib = base_snapshot_mib(&node);
     r.fn_snapshot_ao_mib = fn_snapshot_mib(&mut node);
@@ -153,7 +172,7 @@ mod tests {
 
     #[test]
     fn table1_shape_holds() {
-        let r = run_table1(20);
+        let r = run_table1(20, 2);
         // Snapshot sizes: AO halves the function snapshot and grows the
         // base snapshot (paper: 4.8→2.0 MiB and 109.6→114.5 MiB).
         assert!(r.fn_snapshot_mib > 1.9 * r.fn_snapshot_ao_mib);

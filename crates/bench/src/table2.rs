@@ -78,11 +78,22 @@ fn measure(ao: AoLevel, iterations: u32) -> AoRow {
 }
 
 /// Runs the Table 2 ablation with `iterations` invocations per cell.
-pub fn run_table2(iterations: u32) -> Table2Results {
+/// The three AO levels are independent nodes and run on `workers`
+/// threads; results are identical at every worker count.
+pub fn run_table2(iterations: u32, workers: usize) -> Table2Results {
+    let rows = seuss_exec::ordered_parallel(
+        vec![
+            AoLevel::None,
+            AoLevel::Network,
+            AoLevel::NetworkAndInterpreter,
+        ],
+        workers,
+        |_, ao| measure(ao, iterations),
+    );
     Table2Results {
-        none: measure(AoLevel::None, iterations),
-        network: measure(AoLevel::Network, iterations),
-        full: measure(AoLevel::NetworkAndInterpreter, iterations),
+        none: rows[0],
+        network: rows[1],
+        full: rows[2],
     }
 }
 
@@ -92,7 +103,7 @@ mod tests {
 
     #[test]
     fn table2_shape_holds() {
-        let r = run_table2(5);
+        let r = run_table2(5, 3);
         // Cold: 42 → 16.8 → 7.5 (each AO level must cut the cold path).
         assert!((38.0..46.0).contains(&r.none.cold_ms), "{}", r.none.cold_ms);
         assert!(

@@ -74,8 +74,30 @@ fn parallel_fill_rate(
 /// `seuss_density_cap` optionally limits how many UCs the SEUSS fill
 /// deploys (the full 88 GB fill takes a while; tests pass a cap and the
 /// harness extrapolates — the per-UC footprint is constant by then).
-pub fn run_table3(mem_mib: u64, seuss_density_cap: Option<u64>) -> Table3Results {
-    // --- Baselines: density from footprint, rate from 16-way fill. ---
+/// The four isolation methods are independent simulations and run on
+/// `workers` threads; results are identical at every worker count.
+pub fn run_table3(mem_mib: u64, seuss_density_cap: Option<u64>, workers: usize) -> Table3Results {
+    let mut rows =
+        seuss_exec::ordered_parallel((0..4usize).collect(), workers, |_, method| match method {
+            0 => firecracker_row(mem_mib),
+            1 => docker_row(mem_mib),
+            2 => process_row(mem_mib),
+            _ => seuss_row(mem_mib, seuss_density_cap),
+        });
+    let seuss = rows.pop().expect("seuss row");
+    let process = rows.pop().expect("process row");
+    let docker = rows.pop().expect("docker row");
+    let microvm = rows.pop().expect("microvm row");
+    Table3Results {
+        microvm,
+        docker,
+        process,
+        seuss,
+    }
+}
+
+/// Firecracker baseline: density from footprint, rate from 16-way fill.
+fn firecracker_row(mem_mib: u64) -> IsolationRow {
     let mut fc = FirecrackerEngine::paper();
     let fc_density = fc.density_limit(mem_mib);
     let fc_rate = parallel_fill_rate(16, fc_density.min(450), || {
@@ -84,7 +106,15 @@ pub fn run_table3(mem_mib: u64, seuss_density_cap: Option<u64>) -> Table3Results
         fc.finish_create();
         lat
     });
+    IsolationRow {
+        method: "Firecracker microVM",
+        creation_rate: fc_rate,
+        cache_density: fc_density,
+    }
+}
 
+/// Docker baseline.
+fn docker_row(mem_mib: u64) -> IsolationRow {
     let mut dk = DockerEngine::paper(1).with_cache_limit(usize::MAX >> 1);
     let dk_density = dk.density_limit(mem_mib);
     let dk_rate = parallel_fill_rate(16, dk_density.min(3_000), || {
@@ -93,7 +123,15 @@ pub fn run_table3(mem_mib: u64, seuss_density_cap: Option<u64>) -> Table3Results
         dk.finish_create(None).ok();
         lat
     });
+    IsolationRow {
+        method: "Docker w/ overlay2 fs",
+        creation_rate: dk_rate,
+        cache_density: dk_density,
+    }
+}
 
+/// Plain Linux process baseline.
+fn process_row(mem_mib: u64) -> IsolationRow {
     let mut pr = ProcessEngine::paper();
     let pr_density = pr.density_limit(mem_mib);
     let pr_rate = parallel_fill_rate(16, pr_density.min(4_200), || {
@@ -102,8 +140,15 @@ pub fn run_table3(mem_mib: u64, seuss_density_cap: Option<u64>) -> Table3Results
         pr.finish_create();
         lat
     });
+    IsolationRow {
+        method: "Linux process",
+        creation_rate: pr_rate,
+        cache_density: pr_density,
+    }
+}
 
-    // --- SEUSS: real mechanism fill + shim-bottlenecked rate. ---
+/// SEUSS: real mechanism fill + shim-bottlenecked creation rate.
+fn seuss_row(mem_mib: u64, seuss_density_cap: Option<u64>) -> IsolationRow {
     let cfg = SeussConfig::builder()
         .mem_mib(mem_mib)
         .idle_per_fn(usize::MAX >> 1)
@@ -153,27 +198,10 @@ pub fn run_table3(mem_mib: u64, seuss_density_cap: Option<u64>) -> Table3Results
     }
     let seuss_rate = rate_target as f64 / finished_at.as_secs_f64();
 
-    Table3Results {
-        microvm: IsolationRow {
-            method: "Firecracker microVM",
-            creation_rate: fc_rate,
-            cache_density: fc_density,
-        },
-        docker: IsolationRow {
-            method: "Docker w/ overlay2 fs",
-            creation_rate: dk_rate,
-            cache_density: dk_density,
-        },
-        process: IsolationRow {
-            method: "Linux process",
-            creation_rate: pr_rate,
-            cache_density: pr_density,
-        },
-        seuss: IsolationRow {
-            method: "SEUSS UC",
-            creation_rate: seuss_rate,
-            cache_density: seuss_density,
-        },
+    IsolationRow {
+        method: "SEUSS UC",
+        creation_rate: seuss_rate,
+        cache_density: seuss_density,
     }
 }
 
@@ -184,7 +212,7 @@ mod tests {
     #[test]
     fn table3_shape_holds() {
         // Full-size memory, capped SEUSS fill with extrapolation.
-        let r = run_table3(88 * 1024, Some(2_000));
+        let r = run_table3(88 * 1024, Some(2_000), 4);
         // Density ordering and magnitudes.
         assert!((400..500).contains(&r.microvm.cache_density));
         assert!((2_800..3_200).contains(&r.docker.cache_density));

@@ -13,11 +13,22 @@ use seuss_unikernel::{ImageStore, UcContext, UcImageId};
 
 use crate::node::FnId;
 
+/// One cached function image with its recency and insertion order.
+struct FnCacheEntry {
+    img: UcImageId,
+    last_use: u64,
+    /// Monotone insertion sequence — the LRU tie-break. Without it, two
+    /// entries sharing a `last_use` would be ordered by `HashMap`
+    /// iteration, which varies run to run.
+    seq: u64,
+}
+
 /// LRU cache of function-specific UC images, keyed by function identity.
 pub struct FnImageCache {
-    entries: HashMap<FnId, (UcImageId, u64)>,
+    entries: HashMap<FnId, FnCacheEntry>,
     capacity: usize,
     clock: u64,
+    next_seq: u64,
     /// Lookup hits.
     pub hits: u64,
     /// Lookup misses.
@@ -33,6 +44,7 @@ impl FnImageCache {
             entries: HashMap::new(),
             capacity,
             clock: 0,
+            next_seq: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -51,17 +63,17 @@ impl FnImageCache {
 
     /// Non-mutating lookup (no recency refresh, no stats).
     pub fn peek(&self, f: FnId) -> Option<UcImageId> {
-        self.entries.get(&f).map(|(img, _)| *img)
+        self.entries.get(&f).map(|e| e.img)
     }
 
     /// Looks up the image for a function, refreshing recency.
     pub fn lookup(&mut self, f: FnId) -> Option<UcImageId> {
         self.clock += 1;
         match self.entries.get_mut(&f) {
-            Some((img, t)) => {
-                *t = self.clock;
+            Some(e) => {
+                e.last_use = self.clock;
                 self.hits += 1;
-                Some(*img)
+                Some(e.img)
             }
             None => {
                 self.misses += 1;
@@ -86,8 +98,17 @@ impl FnImageCache {
                 break;
             }
         }
-        if let Some((old, _)) = self.entries.insert(f, (img, self.clock)) {
-            let _ = images.delete(mmu, mem, snaps, old);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(old) = self.entries.insert(
+            f,
+            FnCacheEntry {
+                img,
+                last_use: self.clock,
+                seq,
+            },
+        ) {
+            let _ = images.delete(mmu, mem, snaps, old.img);
         }
     }
 
@@ -111,20 +132,22 @@ impl FnImageCache {
         snaps: &mut SnapshotStore,
         images: &mut ImageStore,
     ) -> bool {
-        let mut candidates: Vec<(FnId, u64, UcImageId)> = self
+        let mut candidates: Vec<(FnId, (u64, u64), UcImageId)> = self
             .entries
             .iter()
-            .filter(|(_, (img, _))| {
+            .filter(|(_, e)| {
                 images
-                    .snapshot_of(*img)
+                    .snapshot_of(e.img)
                     .ok()
                     .and_then(|s| snaps.get(s).ok())
                     .map(|s| s.active_ucs() == 0)
                     .unwrap_or(true)
             })
-            .map(|(f, (img, t))| (*f, *t, *img))
+            .map(|(f, e)| (*f, (e.last_use, e.seq), e.img))
             .collect();
-        candidates.sort_by_key(|&(_, t, _)| t);
+        // Last-use first, then insertion sequence: the tie-break makes the
+        // victim independent of `HashMap` iteration order.
+        candidates.sort_by_key(|&(_, key, _)| key);
         let Some(&(f, _, img)) = candidates.first() else {
             return false;
         };
@@ -136,7 +159,16 @@ impl FnImageCache {
 
     /// Removes and returns a specific entry without deleting its image.
     pub fn remove(&mut self, f: FnId) -> Option<UcImageId> {
-        self.entries.remove(&f).map(|(img, _)| img)
+        self.entries.remove(&f).map(|e| e.img)
+    }
+
+    /// Forces an entry's recency to a given value, fabricating the ties
+    /// the deterministic-eviction tests need.
+    #[cfg(test)]
+    pub(crate) fn force_last_use(&mut self, f: FnId, t: u64) {
+        if let Some(e) = self.entries.get_mut(&f) {
+            e.last_use = t;
+        }
     }
 }
 
@@ -212,11 +244,14 @@ impl IdleUcCache {
 
     /// Removes the least-recently-cached idle UC (OOM-daemon reclaim).
     pub fn pop_lru(&mut self) -> Option<UcContext> {
+        // Tie-break equal cache times by function id: `min_by_key` keeps
+        // the first of equal keys in `HashMap` iteration order, which is
+        // not stable across runs.
         let f = self
             .by_fn
             .iter()
             .filter(|(_, v)| !v.is_empty())
-            .min_by_key(|(_, v)| v.first().map(|(_, t)| *t).unwrap_or(u64::MAX))
+            .min_by_key(|(f, v)| (v.first().map(|(_, t)| *t).unwrap_or(u64::MAX), **f))
             .map(|(f, _)| *f)?;
         let v = self.by_fn.get_mut(&f)?;
         let (uc, _) = v.remove(0);
@@ -248,5 +283,70 @@ mod tests {
         assert_eq!(c.len(), 0);
         assert_eq!(c.count_for(3), 0);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fn_cache_eviction_tie_breaks_by_insertion_order() {
+        use miniscript::RuntimeProfile;
+        use seuss_snapshot::SnapshotKind;
+        use seuss_unikernel::{Layout, UcContext, UcProfile};
+
+        let mut mem = PhysMemory::with_mib(768);
+        let mut mmu = Mmu::new();
+        let mut snaps = SnapshotStore::new();
+        let mut images = ImageStore::new();
+        let (mut base_uc, _) = UcContext::boot(
+            &mut mmu,
+            &mut mem,
+            Layout::nodejs(),
+            UcProfile::tiny(),
+            RuntimeProfile::tiny(),
+        )
+        .unwrap();
+        let (base, _) = images
+            .capture(
+                &mut mmu,
+                &mut mem,
+                &mut snaps,
+                &mut base_uc,
+                SnapshotKind::Runtime,
+                "base",
+                None,
+            )
+            .unwrap();
+
+        let mut cache = FnImageCache::new(8);
+        for f in [10u64, 20, 30] {
+            let (mut uc, _) = images.deploy(&mut mmu, &mut mem, &mut snaps, base).unwrap();
+            uc.connect(&mut mmu, &mut mem).unwrap();
+            uc.import_function(&mut mmu, &mut mem, "function main(a) { return 0; }")
+                .unwrap();
+            let (img, _) = images
+                .capture(
+                    &mut mmu,
+                    &mut mem,
+                    &mut snaps,
+                    &mut uc,
+                    SnapshotKind::Function,
+                    format!("f{f}"),
+                    Some(base),
+                )
+                .unwrap();
+            images.destroy_uc(&mut mmu, &mut mem, &mut snaps, uc);
+            cache.insert(&mut mmu, &mut mem, &mut snaps, &mut images, f, img);
+        }
+
+        // Fabricate a three-way recency tie; the victim must then be the
+        // earliest-inserted entry, not whatever the map iterates first.
+        for f in [10u64, 20, 30] {
+            cache.force_last_use(f, 7);
+        }
+        assert!(cache.evict_lru(&mut mmu, &mut mem, &mut snaps, &mut images));
+        assert!(cache.peek(10).is_none(), "earliest insertion evicted first");
+        assert!(cache.peek(20).is_some());
+        assert!(cache.peek(30).is_some());
+        assert!(cache.evict_lru(&mut mmu, &mut mem, &mut snaps, &mut images));
+        assert!(cache.peek(20).is_none(), "then the next-earliest");
+        assert!(cache.peek(30).is_some());
     }
 }

@@ -50,6 +50,11 @@ pub struct SeussConfig {
     pub idle_total: usize,
     /// OOM-daemon reclaim threshold, in frames (None = 2% of capacity).
     pub reclaim_threshold_frames: Option<u64>,
+    /// Host OS threads the sharded trial executor may use when replaying
+    /// a trial against this node configuration. Purely an execution-speed
+    /// knob: artifacts are byte-identical for every value (see
+    /// `seuss-exec`). Must be at least 1.
+    pub exec_workers: usize,
 }
 
 /// A rejected [`SeussConfigBuilder::build`].
@@ -77,6 +82,8 @@ pub enum ConfigError {
     /// An explicit reclaim threshold of zero frames disables the OOM
     /// daemon silently; use `None` for the default instead.
     ZeroReclaimThreshold,
+    /// The trial executor needs at least one worker thread.
+    ZeroExecWorkers,
 }
 
 impl core::fmt::Display for ConfigError {
@@ -99,6 +106,9 @@ impl core::fmt::Display for ConfigError {
                     f,
                     "config: reclaim threshold of 0 frames; use None for default"
                 )
+            }
+            ConfigError::ZeroExecWorkers => {
+                write!(f, "config: exec_workers must be >= 1")
             }
         }
     }
@@ -173,6 +183,12 @@ impl SeussConfigBuilder {
         self
     }
 
+    /// Host threads for the sharded trial executor (default 1).
+    pub fn exec_workers(mut self, n: usize) -> Self {
+        self.cfg.exec_workers = n;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<SeussConfig, ConfigError> {
         let c = self.cfg;
@@ -205,6 +221,9 @@ impl SeussConfigBuilder {
         if c.reclaim_threshold_frames == Some(0) {
             return Err(ConfigError::ZeroReclaimThreshold);
         }
+        if c.exec_workers == 0 {
+            return Err(ConfigError::ZeroExecWorkers);
+        }
         Ok(c)
     }
 }
@@ -225,6 +244,7 @@ impl SeussConfig {
                 idle_per_fn: 4,
                 idle_total: 4096,
                 reclaim_threshold_frames: None,
+                exec_workers: 1,
             },
         }
     }
@@ -339,6 +359,17 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroReclaimThreshold
         );
+        assert_eq!(
+            SeussConfig::builder().exec_workers(0).build().unwrap_err(),
+            ConfigError::ZeroExecWorkers
+        );
+    }
+
+    #[test]
+    fn exec_workers_defaults_to_one_and_is_settable() {
+        assert_eq!(SeussConfig::paper_node().exec_workers, 1);
+        let c = SeussConfig::test_builder().exec_workers(4).build().unwrap();
+        assert_eq!(c.exec_workers, 4);
     }
 
     #[test]

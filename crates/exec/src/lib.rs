@@ -1,0 +1,489 @@
+//! `seuss-exec` — the parallel sharded trial executor.
+//!
+//! A trial is decomposed into **logical shards** (via
+//! [`seuss_platform::partition_workload`]): each shard owns a disjoint
+//! slice of the function population and simulates its entire SEUSS (or
+//! Linux) node — frame pool, MMU, snapshot store, caches, tracer — for
+//! that slice. Shards are independent simulations, so they run on a pool
+//! of **worker threads**; results are merged afterwards by virtual
+//! completion time with a stable shard-index tie-break.
+//!
+//! # The determinism contract
+//!
+//! * The *shard count* is part of the experiment definition: it decides
+//!   how the population splits and therefore what the merged records,
+//!   trace, and metrics contain.
+//! * The *worker count* is pure execution speed. For a fixed
+//!   `(config, registry, spec, shards)` the merged output is
+//!   **byte-identical at every worker count** — merging is a pure
+//!   function of per-shard results, which are themselves deterministic
+//!   single-threaded simulations, and nothing in the merge observes
+//!   thread scheduling.
+//! * `shards = 1` degenerates to exactly the legacy
+//!   [`seuss_platform::run_trial`]: same seed (stream 0 is the identity
+//!   stream), same single simulation, same record order, same JSONL
+//!   bytes.
+//!
+//! Per-shard RNG streams are split from the trial seed with
+//! [`simcore::stream_seed`], so shard `s` sees the same randomness no
+//! matter which thread runs it, or when.
+//!
+//! # Example
+//!
+//! ```
+//! use seuss_exec::{run_sharded, ExecConfig, ShardPlan};
+//! use seuss_platform::{FnKind, Registry, WorkloadSpec};
+//!
+//! let mut reg = Registry::new();
+//! reg.register_many(0, 4, FnKind::Nop);
+//! let order: Vec<u64> = (0..32).map(|i| i % 4).collect();
+//! let spec = WorkloadSpec::closed_loop(order, 4);
+//! let cfg = ExecConfig::seuss_small();
+//! let a = run_sharded(&cfg, &reg, &spec, ShardPlan::new(2, 1));
+//! let b = run_sharded(&cfg, &reg, &spec, ShardPlan::new(2, 2));
+//! assert_eq!(a.records_jsonl(), b.records_jsonl()); // workers never change bytes
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use seuss_core::{AoLevel, SeussConfig};
+use seuss_platform::cluster::{run_trial, BackendKind, ClusterConfig};
+use seuss_platform::{
+    partition_workload, records_jsonl, Registry, RequestRecord, TrialAnalysis, WorkloadSpec,
+};
+use seuss_trace::{merge_jsonl, merge_metrics, MetricsReport, TraceDump, Tracer};
+use simcore::{stream_seed, SimDuration, SimTime};
+
+/// Environment variable overriding the worker-thread count of every
+/// [`ShardPlan`] built with [`ShardPlan::from_env`]. Execution-speed
+/// only: artifacts are byte-identical at every value.
+pub const WORKERS_ENV: &str = "SEUSS_EXEC_WORKERS";
+
+/// Which compute backend each shard runs — the `Send` mirror of
+/// [`seuss_platform::BackendKind`] (which is consumed by value per
+/// cluster and therefore can't be shared across shard threads directly).
+#[derive(Clone, Debug)]
+pub enum BackendSpec {
+    /// SEUSS OS node (with the shim process in front).
+    Seuss(Box<SeussConfig>),
+    /// Linux node with Docker containers.
+    Linux {
+        /// OpenWhisk container cache limit (paper: 1024).
+        cache_limit: usize,
+        /// Stemcell pool target (0 disables; paper: 256 for bursts).
+        stemcell_target: usize,
+    },
+}
+
+/// Cluster configuration in `Send` form: everything a worker thread
+/// needs to build its shard's [`ClusterConfig`] locally. The non-`Send`
+/// parts of a cluster (the `Rc`-backed tracer, the node itself) are
+/// constructed *inside* the worker thread; only this description and the
+/// plain-data results cross threads.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Compute backend each shard instantiates.
+    pub backend: BackendSpec,
+    /// Worker cores per shard node.
+    pub cores: u16,
+    /// Control-plane round-trip overhead.
+    pub control_plane_rtt: SimDuration,
+    /// Platform invocation timeout.
+    pub timeout: SimDuration,
+    /// Block time of the external HTTP endpoint.
+    pub external_block: SimDuration,
+    /// CPU occupancy of a NOP function on the Linux backend.
+    pub linux_exec_nop: SimDuration,
+    /// Trial seed; shard `s` runs on [`stream_seed`]`(seed, s)`.
+    pub seed: u64,
+    /// Whether each shard records a trace (merged after the run).
+    pub traced: bool,
+}
+
+impl ExecConfig {
+    /// The paper's cluster with a SEUSS backend — field-for-field
+    /// [`ClusterConfig::seuss_paper`], untraced.
+    pub fn seuss_paper() -> Self {
+        ExecConfig {
+            backend: BackendSpec::Seuss(Box::new(SeussConfig::paper_node())),
+            cores: 16,
+            control_plane_rtt: SimDuration::from_millis(36),
+            timeout: SimDuration::from_secs(60),
+            external_block: SimDuration::from_millis(250),
+            linux_exec_nop: SimDuration::from_millis(1),
+            seed: 42,
+            traced: false,
+        }
+    }
+
+    /// A small SEUSS node (2 GiB, full AO) — cheap enough for tests and
+    /// doctests while exercising all three paths.
+    pub fn seuss_small() -> Self {
+        let cfg = SeussConfig::builder()
+            .mem_mib(2048)
+            .ao_level(AoLevel::NetworkAndInterpreter)
+            .build()
+            .expect("static small config is valid");
+        ExecConfig {
+            backend: BackendSpec::Seuss(Box::new(cfg)),
+            ..Self::seuss_paper()
+        }
+    }
+
+    /// The paper's cluster with the Linux backend — field-for-field
+    /// [`ClusterConfig::linux_paper`], untraced.
+    pub fn linux_paper() -> Self {
+        ExecConfig {
+            backend: BackendSpec::Linux {
+                cache_limit: 1024,
+                stemcell_target: 0,
+            },
+            ..Self::seuss_paper()
+        }
+    }
+
+    /// Enables per-shard tracing (merged into one stream by the run).
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Builds shard `shard`'s cluster config. Called inside the worker
+    /// thread that runs the shard, because the result is not `Send`.
+    fn cluster_config(&self, shard: usize) -> ClusterConfig {
+        ClusterConfig {
+            backend: match &self.backend {
+                BackendSpec::Seuss(c) => BackendKind::Seuss(c.clone()),
+                BackendSpec::Linux {
+                    cache_limit,
+                    stemcell_target,
+                } => BackendKind::Linux {
+                    cache_limit: *cache_limit,
+                    stemcell_target: *stemcell_target,
+                },
+            },
+            cores: self.cores,
+            control_plane_rtt: self.control_plane_rtt,
+            timeout: self.timeout,
+            external_block: self.external_block,
+            linux_exec_nop: self.linux_exec_nop,
+            seed: stream_seed(self.seed, shard as u64),
+            tracer: if self.traced {
+                Tracer::enabled()
+            } else {
+                Tracer::disabled()
+            },
+        }
+    }
+}
+
+/// How a trial is decomposed and executed: `shards` is part of the
+/// experiment (it determines the bytes), `workers` is not (it only
+/// determines the wall clock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Logical shards the function population splits into (≥ 1).
+    pub shards: usize,
+    /// Worker threads executing the shards (≥ 1; capped at `shards`).
+    pub workers: usize,
+}
+
+impl ShardPlan {
+    /// A plan with explicit shard and worker counts (both floored at 1).
+    pub fn new(shards: usize, workers: usize) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            workers: workers.max(1),
+        }
+    }
+
+    /// The legacy single-threaded plan: one shard, one worker.
+    pub fn single() -> Self {
+        ShardPlan::new(1, 1)
+    }
+
+    /// `workers` shards on `workers` threads — the usual speedup shape.
+    pub fn wide(workers: usize) -> Self {
+        ShardPlan::new(workers, workers)
+    }
+
+    /// Applies the [`WORKERS_ENV`] override, if set and parseable, to
+    /// the worker count (shards are untouched — the env var must never
+    /// change bytes).
+    pub fn from_env(self) -> Self {
+        match std::env::var(WORKERS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => ShardPlan { workers: n, ..self },
+                _ => self,
+            },
+            Err(_) => self,
+        }
+    }
+}
+
+/// The merged result of a sharded trial — the same artifacts a
+/// single-threaded [`run_trial`] yields, plus the wall-clock time the
+/// execution took (the only field that may vary with `workers`).
+pub struct ShardedOutput {
+    /// All request records, ordered by `(virtual completion time, shard
+    /// index)` — for one shard, exactly the legacy record order.
+    pub records: Vec<RequestRecord>,
+    /// Aggregates over the merged records.
+    pub analysis: TrialAnalysis,
+    /// Latest virtual finish time across shards.
+    pub finished_at: SimTime,
+    /// Total simulation events processed across shards.
+    pub events: u64,
+    /// Per-shard trace dumps, in shard order (empty when untraced).
+    pub trace_dumps: Vec<TraceDump>,
+    /// Real time the execution took. **Not** part of the deterministic
+    /// artifact set.
+    pub wall: Duration,
+}
+
+impl ShardedOutput {
+    /// The merged trace as validated JSONL (empty string when untraced).
+    pub fn trace_jsonl(&self) -> String {
+        merge_jsonl(&self.trace_dumps)
+    }
+
+    /// The merged metrics report (empty when untraced).
+    pub fn metrics_report(&self) -> MetricsReport {
+        merge_metrics(&self.trace_dumps)
+    }
+
+    /// The records rendered with [`seuss_platform::records_jsonl`] — a
+    /// convenient canonical byte-string for determinism comparisons.
+    pub fn records_jsonl(&self) -> String {
+        records_jsonl(&self.records)
+    }
+}
+
+/// What one shard's worker thread hands back: the plain-data subset of
+/// [`seuss_platform::TrialOutput`] (the tracer is snapshotted into a
+/// [`TraceDump`] so nothing `Rc`-backed crosses the thread boundary).
+struct ShardResult {
+    records: Vec<RequestRecord>,
+    finished_at: SimTime,
+    events: u64,
+    dump: Option<TraceDump>,
+}
+
+/// Runs one trial decomposed per `plan` and merges the shards.
+///
+/// See the crate docs for the determinism contract. The merge is:
+/// records stable-sorted by exact virtual completion time (shard index
+/// breaking ties, which the stable sort provides since shards are
+/// concatenated in order); `finished_at` is the max; `events` the sum;
+/// traces and metrics merge via [`merge_jsonl`] / [`merge_metrics`].
+pub fn run_sharded(
+    cfg: &ExecConfig,
+    registry: &Registry,
+    spec: &WorkloadSpec,
+    plan: ShardPlan,
+) -> ShardedOutput {
+    let started = std::time::Instant::now();
+    let parts = partition_workload(registry, spec, plan.shards);
+    let results = ordered_parallel(parts, plan.workers, |shard, (reg, sub_spec)| {
+        let out = run_trial(cfg.cluster_config(shard), reg, &sub_spec);
+        ShardResult {
+            records: out.records,
+            finished_at: out.finished_at,
+            events: out.events,
+            dump: out.tracer.dump(),
+        }
+    });
+
+    let mut records = Vec::new();
+    let mut finished_at = SimTime::ZERO;
+    let mut events = 0u64;
+    let mut trace_dumps = Vec::new();
+    for r in results {
+        records.extend(r.records);
+        finished_at = finished_at.max(r.finished_at);
+        events += r.events;
+        if let Some(d) = r.dump {
+            trace_dumps.push(d);
+        }
+    }
+    // Per-shard record vectors are already completion-ordered (the sim
+    // clock is monotone), so a stable sort on the exact completion nanos
+    // yields (done_ns, shard) order — and is the identity for one shard.
+    records.sort_by_key(|r| r.done_ns);
+    let analysis = TrialAnalysis::from_records(&records);
+
+    ShardedOutput {
+        records,
+        analysis,
+        finished_at,
+        events,
+        trace_dumps,
+        wall: started.elapsed(),
+    }
+}
+
+/// Runs `f` over `items` on `workers` threads, returning results in
+/// **input order** regardless of which thread finished first — the
+/// primitive both `run_sharded` and the bench sweep drivers build their
+/// determinism on. Threads claim indices from an atomic counter, so work
+/// distribution adapts to uneven item costs.
+pub fn ordered_parallel<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        // Run inline: no threads, no overhead — the legacy code path.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let item = slots[i].lock().expect("slot lock").take().expect("item");
+                let r = f(i, item);
+                *results[i].lock().expect("result lock") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result lock").expect("result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seuss_platform::FnKind;
+    use seuss_trace::validate_jsonl;
+
+    fn sample() -> (Registry, WorkloadSpec) {
+        let mut reg = Registry::new();
+        reg.register_many(0, 8, FnKind::Nop);
+        let order: Vec<u64> = (0..64).map(|i| i % 8).collect();
+        (reg, WorkloadSpec::closed_loop(order, 8))
+    }
+
+    fn legacy_config(traced: bool) -> ClusterConfig {
+        let cfg = ExecConfig::seuss_small();
+        ClusterConfig {
+            backend: BackendKind::Seuss(match cfg.backend {
+                BackendSpec::Seuss(c) => c,
+                _ => unreachable!(),
+            }),
+            cores: cfg.cores,
+            control_plane_rtt: cfg.control_plane_rtt,
+            timeout: cfg.timeout,
+            external_block: cfg.external_block,
+            linux_exec_nop: cfg.linux_exec_nop,
+            seed: cfg.seed,
+            tracer: if traced {
+                Tracer::enabled()
+            } else {
+                Tracer::disabled()
+            },
+        }
+    }
+
+    #[test]
+    fn one_shard_reproduces_legacy_run_trial() {
+        let (reg, spec) = sample();
+        let legacy = run_trial(legacy_config(true), reg.clone(), &spec);
+        let cfg = ExecConfig::seuss_small().traced();
+        let sharded = run_sharded(&cfg, &reg, &spec, ShardPlan::single());
+
+        assert_eq!(sharded.records_jsonl(), records_jsonl(&legacy.records));
+        assert_eq!(sharded.finished_at, legacy.finished_at);
+        assert_eq!(sharded.events, legacy.events);
+        assert_eq!(sharded.trace_jsonl(), legacy.tracer.export_jsonl());
+        assert_eq!(
+            sharded.metrics_report().to_json(),
+            legacy.tracer.metrics_report().to_json()
+        );
+    }
+
+    #[test]
+    fn worker_count_never_changes_bytes() {
+        let (reg, spec) = sample();
+        let cfg = ExecConfig::seuss_small().traced();
+        let w1 = run_sharded(&cfg, &reg, &spec, ShardPlan::new(4, 1));
+        let w2 = run_sharded(&cfg, &reg, &spec, ShardPlan::new(4, 2));
+        let w4 = run_sharded(&cfg, &reg, &spec, ShardPlan::new(4, 4));
+        assert_eq!(w1.records_jsonl(), w2.records_jsonl());
+        assert_eq!(w1.records_jsonl(), w4.records_jsonl());
+        assert_eq!(w1.trace_jsonl(), w2.trace_jsonl());
+        assert_eq!(w1.trace_jsonl(), w4.trace_jsonl());
+        assert_eq!(w1.metrics_report().to_json(), w4.metrics_report().to_json());
+        assert_eq!(w1.finished_at, w4.finished_at);
+        assert_eq!(w1.events, w4.events);
+        validate_jsonl(&w4.trace_jsonl()).expect("merged trace validates");
+        assert_eq!(w1.analysis.completed, 64);
+    }
+
+    #[test]
+    fn sharded_run_completes_the_whole_workload() {
+        let (reg, spec) = sample();
+        let cfg = ExecConfig::seuss_small();
+        let out = run_sharded(&cfg, &reg, &spec, ShardPlan::wide(4));
+        assert_eq!(out.analysis.completed, 64);
+        assert_eq!(out.analysis.errors, 0);
+        // 8 unique functions → 8 cold paths, exactly one per function.
+        assert_eq!(out.analysis.paths.0, 8);
+        // Untraced → no dumps, empty artifacts.
+        assert!(out.trace_dumps.is_empty());
+        assert_eq!(out.trace_jsonl(), "");
+    }
+
+    #[test]
+    fn records_merge_is_completion_ordered() {
+        let (reg, spec) = sample();
+        let cfg = ExecConfig::seuss_small();
+        let out = run_sharded(&cfg, &reg, &spec, ShardPlan::wide(4));
+        assert!(out.records.windows(2).all(|w| w[0].done_ns <= w[1].done_ns));
+    }
+
+    #[test]
+    fn ordered_parallel_preserves_input_order() {
+        // Uneven spins so late items often finish first on 4 threads.
+        let items: Vec<u64> = (0..32).collect();
+        let out = ordered_parallel(items, 4, |i, x| {
+            let mut acc = 0u64;
+            for k in 0..((32 - i as u64) * 1000) {
+                acc = acc.wrapping_add(k);
+            }
+            (x, std::hint::black_box(acc))
+        });
+        let xs: Vec<u64> = out.iter().map(|(x, _)| *x).collect();
+        assert_eq!(xs, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn env_override_touches_only_workers() {
+        let plan = ShardPlan::new(4, 1);
+        // No env set in tests: from_env is the identity.
+        let same = plan.from_env();
+        assert_eq!(same.shards, 4);
+    }
+}

@@ -51,6 +51,6 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{EventId, Scheduler, Simulation, World};
-pub use rng::{SimRng, Zipf};
+pub use rng::{stream_seed, SimRng, Zipf};
 pub use stats::{Histogram, OnlineStats, PercentileSummary};
 pub use time::{SimDuration, SimTime};

@@ -205,6 +205,12 @@ impl Histogram {
         if self.total == 0 {
             return SimDuration::ZERO;
         }
+        if self.total == 1 {
+            // A one-sample distribution has every quantile equal to the
+            // sample itself; reporting the bucket bound instead would
+            // inflate p99 for singleton paths (e.g. one cold start).
+            return SimDuration::from_nanos(self.sum_ns as u64);
+        }
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.total as f64).ceil() as u64).max(1);
         let mut seen = self.underflow;
@@ -320,6 +326,17 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), SimDuration::ZERO);
         assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact() {
+        let mut h = Histogram::new();
+        let d = SimDuration::from_nanos(1_234_567);
+        h.record(d);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), d, "q={q}");
+        }
+        assert_eq!(h.mean(), d);
     }
 
     #[test]

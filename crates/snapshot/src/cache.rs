@@ -20,6 +20,7 @@ pub struct SnapshotCache<K> {
     capacity_diff_pages: u64,
     used_diff_pages: u64,
     clock: u64,
+    next_seq: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -29,6 +30,10 @@ struct CacheEntry {
     snap: SnapshotId,
     diff_pages: u64,
     last_use: u64,
+    /// Monotone insertion sequence — the LRU tie-break. Without it, two
+    /// entries sharing a `last_use` would be ordered by `HashMap`
+    /// iteration, which varies run to run.
+    seq: u64,
 }
 
 impl<K: std::hash::Hash + Eq + Clone> SnapshotCache<K> {
@@ -39,6 +44,7 @@ impl<K: std::hash::Hash + Eq + Clone> SnapshotCache<K> {
             capacity_diff_pages,
             used_diff_pages: 0,
             clock: 0,
+            next_seq: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -103,12 +109,15 @@ impl<K: std::hash::Hash + Eq + Clone> SnapshotCache<K> {
                 break;
             }
         }
+        let seq = self.next_seq;
+        self.next_seq += 1;
         if let Some(old) = self.entries.insert(
             key,
             CacheEntry {
                 snap,
                 diff_pages,
                 last_use: self.clock,
+                seq,
             },
         ) {
             // Replaced an existing entry: release its accounting and try to
@@ -125,8 +134,10 @@ impl<K: std::hash::Hash + Eq + Clone> SnapshotCache<K> {
         mmu: &mut Mmu,
         mem: &mut PhysMemory,
     ) -> bool {
-        // Scan for the LRU entry whose snapshot is deletable.
-        let mut candidates: Vec<(&K, u64)> = self
+        // Scan for the LRU entry whose snapshot is deletable. Last-use
+        // first, then insertion sequence: the tie-break makes the victim
+        // independent of `HashMap` iteration order.
+        let mut candidates: Vec<(&K, (u64, u64))> = self
             .entries
             .iter()
             .filter(|(_, e)| {
@@ -135,9 +146,9 @@ impl<K: std::hash::Hash + Eq + Clone> SnapshotCache<K> {
                     .map(|s| s.active_ucs() == 0)
                     .unwrap_or(true)
             })
-            .map(|(k, e)| (k, e.last_use))
+            .map(|(k, e)| (k, (e.last_use, e.seq)))
             .collect();
-        candidates.sort_by_key(|&(_, t)| t);
+        candidates.sort_by_key(|&(_, key)| key);
         let Some((key, _)) = candidates.first() else {
             return false;
         };
@@ -149,6 +160,15 @@ impl<K: std::hash::Hash + Eq + Clone> SnapshotCache<K> {
         // the cache either way.
         let _ = store.delete(mmu, mem, entry.snap);
         true
+    }
+
+    /// Forces an entry's recency to a given value, fabricating the ties
+    /// the deterministic-eviction tests need.
+    #[cfg(test)]
+    pub(crate) fn force_last_use(&mut self, key: &K, t: u64) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.last_use = t;
+        }
     }
 }
 
@@ -289,6 +309,30 @@ mod tests {
         assert!(r.store.get(s1).is_ok());
         r.mmu.destroy_space(&mut r.mem, uc);
         r.store.release_uc(s1).unwrap();
+    }
+
+    #[test]
+    fn eviction_tie_breaks_by_insertion_order() {
+        let mut r = rig();
+        let mut cache: SnapshotCache<u64> = SnapshotCache::new(100);
+        let s1 = make_fn_snapshot(&mut r, 1, 2);
+        let s2 = make_fn_snapshot(&mut r, 2, 2);
+        let s3 = make_fn_snapshot(&mut r, 3, 2);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 1, s1);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 2, s2);
+        cache.insert(&mut r.store, &mut r.mmu, &mut r.mem, 3, s3);
+        // Fabricate a three-way recency tie; the victim must then be the
+        // earliest-inserted entry, not whatever the map iterates first.
+        for k in [1u64, 2, 3] {
+            cache.force_last_use(&k, 9);
+        }
+        // Evict twice before any lookup: a lookup would refresh recency
+        // and dissolve the tie this test is about.
+        assert!(cache.evict_one(&mut r.store, &mut r.mmu, &mut r.mem));
+        assert!(cache.evict_one(&mut r.store, &mut r.mmu, &mut r.mem));
+        assert!(cache.lookup(&1).is_none(), "earliest insertion evicted");
+        assert!(cache.lookup(&2).is_none(), "then the next-earliest");
+        assert!(cache.lookup(&3).is_some());
     }
 
     #[test]

@@ -61,8 +61,10 @@ impl BurstParams {
         registry.register_many(0, self.background_fns, FnKind::Io);
 
         // Background stream: enough closed-loop requests to span the run
-        // at the throttled rate.
-        let total_bg = (self.background_rps * self.span().as_secs_f64()) as u64;
+        // at the throttled rate. Round to nearest: a bare cast truncates
+        // toward zero, silently dropping a request whenever rate × span
+        // lands just below an integer (e.g. 89.9999995 → 89).
+        let total_bg = (self.background_rps * self.span().as_secs_f64()).round() as u64;
         let order: Vec<u64> = (0..total_bg).map(|i| i % self.background_fns).collect();
 
         let mut spec = WorkloadSpec::closed_loop(order, self.background_workers);
@@ -117,7 +119,20 @@ mod tests {
     fn background_spans_experiment() {
         let p = BurstParams::paper(8);
         let (_, spec) = p.build();
-        let expect = (72.0 * p.span().as_secs_f64()) as usize;
+        let expect = (72.0 * p.span().as_secs_f64()).round() as usize;
         assert_eq!(spec.order.len(), expect);
+    }
+
+    #[test]
+    fn background_count_rounds_at_fractional_boundary() {
+        // span = 8 + 4·10 + 5 = 53 s; 1.9999999 rps × 53 s = 105.9999947,
+        // which a bare `as u64` cast truncated to 105.
+        let p = BurstParams {
+            background_rps: 1.999_999_9,
+            ..BurstParams::paper(4)
+        };
+        assert_eq!(p.span(), SimDuration::from_secs(53));
+        let (_, spec) = p.build();
+        assert_eq!(spec.order.len(), 106, "must round, not truncate");
     }
 }
