@@ -206,6 +206,19 @@ impl DockerEngine {
         Ok(id)
     }
 
+    /// Power-cycles the node: every container — busy, idle, or stemcell —
+    /// vanishes and its bridge endpoint detaches. Creations already in
+    /// flight complete into the rebooted engine (their `finish_create`
+    /// bookkeeping must still balance). Returns how many containers died.
+    pub fn crash(&mut self) -> u64 {
+        let lost = self.containers.len() as u64;
+        for _ in 0..lost {
+            self.bridge.detach();
+        }
+        self.containers.clear();
+        lost
+    }
+
     /// Deletes a container (evict). Returns the deletion latency.
     pub fn delete(&mut self, id: ContainerId) -> Result<SimDuration, DockerError> {
         self.containers.remove(&id).ok_or(DockerError::Unknown)?;

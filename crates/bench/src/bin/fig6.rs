@@ -2,14 +2,17 @@
 //! configurable period (32 s = Figure 6, 16 s = Figure 7, 8 s = Figure 8).
 //!
 //! ```sh
-//! cargo run --release -p seuss-bench --bin fig6 -- [period_s] [csv_path] [--workers N]
+//! cargo run --release -p seuss-bench --bin fig6 -- [period_s] [csv_path] \
+//!     [--workers N] [--fault-plan <spec>] [--fault-seed N]
 //! ```
 //!
 //! Prints summary counts and an ASCII timeline; optionally dumps the full
 //! scatter (every request's send time, latency, and error mark) as CSV
-//! for plotting.
+//! for plotting. `--fault-plan` injects a fault schedule into both
+//! backends (see `seuss::faults::spec` for the grammar).
 
-use seuss_bench::{positionals, run_burst, workers_arg};
+use seuss::faults::RetryPolicy;
+use seuss_bench::{fault_plan_arg, positionals, run_burst_with_faults, workers_arg};
 use seuss_platform::RequestStatus;
 use seuss_workload::{burst_series_csv, BurstParams};
 
@@ -48,13 +51,17 @@ fn main() {
     let period: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(32);
     let csv_path = args.get(1).cloned();
     let workers = workers_arg(2);
+    let plan = fault_plan_arg(42);
     let params = BurstParams::paper(period);
     eprintln!(
         "running burst experiment: {} bursts of {} CPU-bound requests every {period}s over a 72 rps IO background ({workers} worker threads)…",
         params.bursts, params.burst_size
     );
+    if !plan.is_empty() {
+        eprintln!("injecting {} fault event(s) into both backends", plan.len());
+    }
     let started = std::time::Instant::now();
-    let out = run_burst(params, 16 * 1024, workers);
+    let out = run_burst_with_faults(params, 16 * 1024, workers, &plan, RetryPolicy::resilient());
     eprintln!(
         "both backends took {:.2} s on {workers} worker threads",
         started.elapsed().as_secs_f64()

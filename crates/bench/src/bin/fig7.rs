@@ -4,11 +4,18 @@
 //! cargo run --release -p seuss-bench --bin fig7
 //! ```
 
-use seuss_bench::{run_burst, workers_arg};
+use seuss::faults::RetryPolicy;
+use seuss_bench::{fault_plan_arg, run_burst_with_faults, workers_arg};
 use seuss_workload::BurstParams;
 
 fn main() {
-    let out = run_burst(BurstParams::paper(16), 16 * 1024, workers_arg(2));
+    let out = run_burst_with_faults(
+        BurstParams::paper(16),
+        16 * 1024,
+        workers_arg(2),
+        &fault_plan_arg(42),
+        RetryPolicy::resilient(),
+    );
     println!("== Request burst sent every 16 seconds ==");
     for (name, side) in [("Linux", &out.linux), ("SEUSS", &out.seuss)] {
         println!(

@@ -3,6 +3,12 @@
 //! experiment sweep runs on, falling back to the `SEUSS_EXEC_WORKERS`
 //! environment variable. Worker count is execution speed only — results
 //! are byte-identical at every value (see `seuss-exec`).
+//!
+//! Fault-capable drivers additionally accept `--fault-plan <spec>` and
+//! `--fault-seed N` (see [`seuss::faults::spec`] for the spec grammar);
+//! both are stripped from [`positionals`] like the workers flags.
+
+use seuss::faults::{spec, FaultPlan};
 
 /// Parses a worker count out of `args`: `--workers N`, `--workers=N`,
 /// or `-j N`.
@@ -19,9 +25,38 @@ fn parse_workers(args: &[String]) -> Option<usize> {
     None
 }
 
-/// `args` with any workers flags (and their values) removed, so the
-/// binaries' existing positional arguments keep working unchanged.
-fn strip_workers(args: &[String]) -> Vec<String> {
+/// Parses a `--fault-plan <spec>` or `--fault-plan=<spec>` flag.
+fn parse_fault_spec(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--fault-plan" {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix("--fault-plan=") {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Parses a `--fault-seed N` or `--fault-seed=N` flag.
+fn parse_fault_seed(args: &[String]) -> Option<u64> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--fault-seed" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--fault-seed=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// `args` with any workers / fault flags (and their values) removed, so
+/// the binaries' existing positional arguments keep working unchanged.
+fn strip_flags(args: &[String]) -> Vec<String> {
+    const VALUED: &[&str] = &["--workers", "-j", "--fault-plan", "--fault-seed"];
     let mut out = Vec::new();
     let mut skip_value = false;
     for a in args {
@@ -29,11 +64,14 @@ fn strip_workers(args: &[String]) -> Vec<String> {
             skip_value = false;
             continue;
         }
-        if a == "--workers" || a == "-j" {
+        if VALUED.contains(&a.as_str()) {
             skip_value = true;
             continue;
         }
-        if a.starts_with("--workers=") {
+        if VALUED
+            .iter()
+            .any(|f| a.len() > f.len() && a.starts_with(f) && a.as_bytes()[f.len()] == b'=')
+        {
             continue;
         }
         out.push(a.clone());
@@ -56,9 +94,40 @@ pub fn workers_arg(default: usize) -> usize {
         .max(1)
 }
 
-/// The positional command-line arguments (workers flags stripped).
+/// The positional command-line arguments (workers and fault flags
+/// stripped).
 pub fn positionals() -> Vec<String> {
-    strip_workers(&std::env::args().skip(1).collect::<Vec<_>>())
+    strip_flags(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+/// The raw `--fault-plan` spec string, if the flag was given.
+pub fn fault_spec_arg() -> Option<String> {
+    parse_fault_spec(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+/// The `--fault-seed` value, if the flag was given.
+pub fn fault_seed_arg() -> Option<u64> {
+    parse_fault_seed(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+/// The fault schedule for this invocation: `--fault-plan <spec>`
+/// compiled under `--fault-seed N` (default `default_seed`, which
+/// should be the trial seed so `?`-randomized instants reproduce). No
+/// flag means [`FaultPlan::none`] — the fault-free fast path. A
+/// malformed spec prints the parse error and exits 2.
+pub fn fault_plan_arg(default_seed: u64) -> FaultPlan {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = parse_fault_seed(&args).unwrap_or(default_seed);
+    match parse_fault_spec(&args) {
+        None => FaultPlan::none(),
+        Some(s) => match spec::compile(&s, seed) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("invalid --fault-plan {s:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 #[cfg(test)]
@@ -83,11 +152,61 @@ mod tests {
     #[test]
     fn stripping_preserves_positionals() {
         assert_eq!(
-            strip_workers(&v(&["64", "--workers", "4", "out.csv"])),
+            strip_flags(&v(&["64", "--workers", "4", "out.csv"])),
             v(&["64", "out.csv"])
         );
-        assert_eq!(strip_workers(&v(&["--workers=4", "64"])), v(&["64"]));
-        assert_eq!(strip_workers(&v(&["-j", "2"])), Vec::<String>::new());
-        assert_eq!(strip_workers(&v(&["a", "b"])), v(&["a", "b"]));
+        assert_eq!(strip_flags(&v(&["--workers=4", "64"])), v(&["64"]));
+        assert_eq!(strip_flags(&v(&["-j", "2"])), Vec::<String>::new());
+        assert_eq!(strip_flags(&v(&["a", "b"])), v(&["a", "b"]));
+    }
+
+    #[test]
+    fn parses_fault_flags_in_every_spelling() {
+        assert_eq!(
+            parse_fault_spec(&v(&["--fault-plan", "crash@1s+2s"])),
+            Some("crash@1s+2s".to_string())
+        );
+        assert_eq!(
+            parse_fault_spec(&v(&["64", "--fault-plan=loss@1s+2s:0.5"])),
+            Some("loss@1s+2s:0.5".to_string())
+        );
+        assert_eq!(parse_fault_spec(&v(&["64"])), None);
+        assert_eq!(parse_fault_spec(&v(&["--fault-plan"])), None);
+
+        assert_eq!(parse_fault_seed(&v(&["--fault-seed", "7"])), Some(7));
+        assert_eq!(parse_fault_seed(&v(&["--fault-seed=99"])), Some(99));
+        assert_eq!(parse_fault_seed(&v(&["--fault-seed", "nope"])), None);
+        assert_eq!(parse_fault_seed(&v(&["64"])), None);
+    }
+
+    #[test]
+    fn stripping_removes_fault_flags_and_keeps_positionals() {
+        assert_eq!(
+            strip_flags(&v(&[
+                "64",
+                "--fault-plan",
+                "crash@1s+2s",
+                "out.csv",
+                "--fault-seed=7",
+            ])),
+            v(&["64", "out.csv"])
+        );
+        assert_eq!(
+            strip_flags(&v(&["--fault-plan=crash@1s+2s", "--fault-seed", "7"])),
+            Vec::<String>::new()
+        );
+        // A flag-like positional that merely shares a prefix survives.
+        assert_eq!(
+            strip_flags(&v(&["--fault-planner", "x"])),
+            v(&["--fault-planner", "x"])
+        );
+    }
+
+    #[test]
+    fn fault_spec_and_seed_compose_with_workers_flags() {
+        let args = v(&["8", "--workers", "4", "--fault-plan=crash@1s+2s", "f.csv"]);
+        assert_eq!(parse_workers(&args), Some(4));
+        assert_eq!(parse_fault_spec(&args), Some("crash@1s+2s".to_string()));
+        assert_eq!(strip_flags(&args), v(&["8", "f.csv"]));
     }
 }

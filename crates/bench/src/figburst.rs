@@ -7,6 +7,7 @@
 //! background stream; SEUSS serves every request, with only CPU
 //! contention visible at the 8 s period.
 
+use seuss::faults::{FaultPlan, RetryPolicy};
 use seuss_core::{AoLevel, SeussConfig};
 use seuss_platform::{run_trial, BackendKind, ClusterConfig, RequestRecord};
 use seuss_workload::{report::burst_counts, BurstParams};
@@ -81,6 +82,26 @@ fn side(records: Vec<RequestRecord>) -> BurstSide {
 /// trials and run on `workers` threads; results are identical at every
 /// worker count.
 pub fn run_burst(params: BurstParams, mem_mib: u64, workers: usize) -> BurstOutcome {
+    run_burst_with_faults(
+        params,
+        mem_mib,
+        workers,
+        &FaultPlan::none(),
+        RetryPolicy::resilient(),
+    )
+}
+
+/// [`run_burst`] under an injected fault schedule: both backends run
+/// the same `faults` plan and `retry` policy, so the figure shows how
+/// each platform's resiliency interacts with infrastructure failures.
+/// With [`FaultPlan::none`] this is byte-for-byte [`run_burst`].
+pub fn run_burst_with_faults(
+    params: BurstParams,
+    mem_mib: u64,
+    workers: usize,
+    faults: &FaultPlan,
+    retry: RetryPolicy,
+) -> BurstOutcome {
     let mut sides = seuss_exec::ordered_parallel(vec![false, true], workers, |_, is_seuss| {
         let (reg, spec) = params.build();
         let cfg = if is_seuss {
@@ -91,6 +112,8 @@ pub fn run_burst(params: BurstParams, mem_mib: u64, workers: usize) -> BurstOutc
                 .expect("valid burst config");
             ClusterConfig {
                 backend: BackendKind::Seuss(Box::new(node)),
+                faults: faults.clone(),
+                retry,
                 ..ClusterConfig::seuss_paper()
             }
         } else {
@@ -99,6 +122,8 @@ pub fn run_burst(params: BurstParams, mem_mib: u64, workers: usize) -> BurstOutc
                     cache_limit: 1024,
                     stemcell_target: 256,
                 },
+                faults: faults.clone(),
+                retry,
                 ..ClusterConfig::seuss_paper()
             }
         };

@@ -13,6 +13,7 @@
 //! | `fig4`   | platform throughput vs unique-function set size |
 //! | `fig5`   | end-to-end latency percentiles at three set sizes |
 //! | `fig6`/`fig7`/`fig8` | burst resiliency at 32 s / 16 s / 8 s periods |
+//! | `figfault` | availability/latency under injected faults: retry vs ablation vs Linux |
 //!
 //! Micro-benchmarks of the underlying mechanisms live in `benches/`
 //! (snapshot capture/deploy, page-fault service, interpreter
@@ -32,6 +33,7 @@ pub mod cli;
 pub mod fig4;
 pub mod fig5;
 pub mod figburst;
+pub mod figfault;
 pub mod render;
 pub mod table1;
 pub mod table2;
@@ -39,10 +41,11 @@ pub mod table3;
 pub mod timing;
 pub mod traced;
 
-pub use cli::{positionals, workers_arg};
+pub use cli::{fault_plan_arg, positionals, workers_arg};
 pub use fig4::{run_fig4, Fig4Point};
 pub use fig5::{run_fig5, Fig5Row};
-pub use figburst::{run_burst, BurstOutcome};
+pub use figburst::{run_burst, run_burst_with_faults, BurstOutcome};
+pub use figfault::{availability_csv, default_fault_spec, run_figfault, FaultOutcome};
 pub use render::{ratio, Table};
 pub use table1::{run_table1, Table1Results};
 pub use table2::{run_table2, Table2Results};

@@ -404,16 +404,27 @@ impl SeussNode {
             cache: CacheKind::IdleUc,
         });
 
-        // Warm path: deploy from the cached function image.
+        // Warm path: deploy from the cached function image — unless the
+        // cached snapshot fails its integrity check, in which case the
+        // damaged image is discarded and the invocation degrades to the
+        // cold path, whose re-capture repairs the cache.
         if let Some(img) = self.fn_cache.lookup(f) {
-            self.tracer.event(TraceEvent::CacheHit {
-                cache: CacheKind::FnSnapshot,
-            });
-            span.annotate_path(PathKind::Warm);
-            let mut uc = self.deploy_uc(img, &mut costs)?;
-            self.connect_uc(&mut uc, &mut costs)?;
-            let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
-            return self.conclude(f, PathKind::Warm, uc, exec, costs, ops_before);
+            if self.snapshot_intact(img) {
+                self.tracer.event(TraceEvent::CacheHit {
+                    cache: CacheKind::FnSnapshot,
+                });
+                span.annotate_path(PathKind::Warm);
+                let mut uc = self.deploy_uc(img, &mut costs)?;
+                self.connect_uc(&mut uc, &mut costs)?;
+                let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
+                return self.conclude(f, PathKind::Warm, uc, exec, costs, ops_before);
+            }
+            self.tracer.event(TraceEvent::FaultSnapshotCorrupt);
+            if let Some(bad) = self.fn_cache.remove(f) {
+                let _ = self
+                    .images
+                    .delete(&mut self.mmu, &mut self.mem, &mut self.snaps, bad);
+            }
         }
         self.tracer.event(TraceEvent::CacheMiss {
             cache: CacheKind::FnSnapshot,
@@ -619,6 +630,63 @@ impl SeussNode {
     /// Number of invocations currently blocked on external IO.
     pub fn blocked_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Whether the snapshot behind a deployable image passes its
+    /// integrity check. Images without a resolvable snapshot count as
+    /// intact (nothing to verify).
+    fn snapshot_intact(&self, img: UcImageId) -> bool {
+        self.images
+            .snapshot_of(img)
+            .ok()
+            .and_then(|sid| self.snaps.verify(sid).ok())
+            .unwrap_or(true)
+    }
+
+    /// Damages the cached function snapshot for `f` in place (fault
+    /// injection). Returns whether a cached snapshot existed to corrupt;
+    /// detection happens on the function's next warm-path lookup.
+    pub fn corrupt_fn_snapshot(&mut self, f: FnId) -> bool {
+        if let Some(img) = self.fn_cache.peek(f) {
+            if let Ok(sid) = self.images.snapshot_of(img) {
+                return self.snaps.corrupt(sid).is_ok();
+            }
+        }
+        false
+    }
+
+    /// Crashes the node: every pending (IO-blocked) invocation, idle UC,
+    /// and cached function snapshot is destroyed, exactly what a power
+    /// cycle would take. The base runtime snapshots survive — the reboot
+    /// cost the caller charges covers their re-initialization. Returns
+    /// how many cached/in-flight items were lost.
+    ///
+    /// Destruction order is fixed (pending by token, idle LRU-first,
+    /// snapshots LRU-first) so a crash at a given virtual instant leaves
+    /// byte-identical node state on every run.
+    pub fn crash(&mut self) -> u64 {
+        let mut lost = 0u64;
+        let mut tokens: Vec<u64> = self.pending.keys().copied().collect();
+        tokens.sort_unstable();
+        for t in tokens {
+            let (_, _, uc) = self.pending.remove(&t).expect("token just listed");
+            self.destroy_uc(uc);
+            lost += 1;
+        }
+        while let Some(uc) = self.idle.pop_lru() {
+            self.destroy_uc(uc);
+            lost += 1;
+        }
+        while self.fn_cache.evict_lru(
+            &mut self.mmu,
+            &mut self.mem,
+            &mut self.snaps,
+            &mut self.images,
+        ) {
+            lost += 1;
+        }
+        self.tracer.event(TraceEvent::FaultNodeCrash);
+        lost
     }
 }
 
@@ -863,5 +931,88 @@ mod proxy_tests {
         assert!(n.proxy.active() >= 1);
         n.resume_invocation(token, "ok").unwrap();
         assert_eq!(n.proxy.active(), n.idle.len());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    const NOP: &str = "function main(args) { return 0; }";
+
+    fn node() -> SeussNode {
+        SeussNode::new(SeussConfig::test_node()).unwrap().0
+    }
+
+    fn expect_completed(inv: Invocation) -> (PathKind, String, PathCosts) {
+        match inv {
+            Invocation::Completed {
+                path,
+                result,
+                costs,
+                ..
+            } => (path, result, costs),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_warm_to_cold_and_repairs() {
+        let mut n = node();
+        expect_completed(n.invoke(9, NOP, &[]).unwrap());
+        // Drop the idle UC so the next invoke consults the fn cache.
+        while let Some(uc) = n.idle.pop_lru() {
+            n.destroy_uc(uc);
+        }
+        assert!(n.corrupt_fn_snapshot(9));
+        let (p, r, _) = expect_completed(n.invoke(9, NOP, &[]).unwrap());
+        assert_eq!(p, PathKind::Cold, "corrupted snapshot must not serve warm");
+        assert_eq!(r, "0");
+        assert_eq!(n.stats.cold, 2);
+
+        // The cold-path re-capture repaired the cache: with the idle UC
+        // drained again, the function serves warm once more.
+        while let Some(uc) = n.idle.pop_lru() {
+            n.destroy_uc(uc);
+        }
+        let (p, _, _) = expect_completed(n.invoke(9, NOP, &[]).unwrap());
+        assert_eq!(p, PathKind::Warm);
+    }
+
+    #[test]
+    fn corrupting_an_uncached_function_reports_false() {
+        let mut n = node();
+        assert!(!n.corrupt_fn_snapshot(42));
+    }
+
+    #[test]
+    fn crash_loses_caches_and_pending_work() {
+        let mut n = node();
+        expect_completed(n.invoke(1, NOP, &[]).unwrap());
+        expect_completed(n.invoke(2, NOP, &[]).unwrap());
+        let src = "function main(a) { let r = http_get('http://ext'); return r; }";
+        let token = match n.invoke(3, src, &[]).unwrap() {
+            Invocation::Blocked { token, .. } => token,
+            other => panic!("{other:?}"),
+        };
+        assert!(n.idle.len() >= 2);
+        assert_eq!(n.fn_cache.len(), 3);
+        assert_eq!(n.blocked_count(), 1);
+
+        let lost = n.crash();
+        assert!(lost >= 6, "pending + idle UCs + snapshots all lost: {lost}");
+        assert_eq!(n.idle.len(), 0);
+        assert_eq!(n.fn_cache.len(), 0);
+        assert_eq!(n.blocked_count(), 0);
+        assert_eq!(n.proxy.active(), 0, "every UC port was released");
+        assert_eq!(
+            n.resume_invocation(token, "late").err(),
+            Some(NodeError::UnknownToken),
+            "replies to pre-crash invocations are orphaned"
+        );
+
+        // The rebooted node still serves requests — from a cold start.
+        let (p, _, _) = expect_completed(n.invoke(1, NOP, &[]).unwrap());
+        assert_eq!(p, PathKind::Cold);
     }
 }

@@ -52,6 +52,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use seuss_core::{AoLevel, SeussConfig};
+use seuss_faults::{FaultPlan, RetryPolicy};
 use seuss_platform::cluster::{run_trial, BackendKind, ClusterConfig};
 use seuss_platform::{
     partition_workload, records_jsonl, Registry, RequestRecord, TrialAnalysis, WorkloadSpec,
@@ -103,6 +104,14 @@ pub struct ExecConfig {
     pub seed: u64,
     /// Whether each shard records a trace (merged after the run).
     pub traced: bool,
+    /// Fault schedule for the trial. Global faults (crash, loss, memory
+    /// pressure, stragglers) hit every shard's node; targeted snapshot
+    /// corruption follows its function to the owning shard via
+    /// [`FaultPlan::shard_view`], so the plan a function observes is
+    /// independent of the shard count's ownership layout.
+    pub faults: FaultPlan,
+    /// Retry policy each shard's platform applies to faulted requests.
+    pub retry: RetryPolicy,
 }
 
 impl ExecConfig {
@@ -118,6 +127,8 @@ impl ExecConfig {
             linux_exec_nop: SimDuration::from_millis(1),
             seed: 42,
             traced: false,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::resilient(),
         }
     }
 
@@ -153,9 +164,10 @@ impl ExecConfig {
         self
     }
 
-    /// Builds shard `shard`'s cluster config. Called inside the worker
-    /// thread that runs the shard, because the result is not `Send`.
-    fn cluster_config(&self, shard: usize) -> ClusterConfig {
+    /// Builds shard `shard`'s cluster config (of `shards` total). Called
+    /// inside the worker thread that runs the shard, because the result
+    /// is not `Send`.
+    fn cluster_config(&self, shard: usize, shards: usize) -> ClusterConfig {
         ClusterConfig {
             backend: match &self.backend {
                 BackendSpec::Seuss(c) => BackendKind::Seuss(c.clone()),
@@ -178,6 +190,8 @@ impl ExecConfig {
             } else {
                 Tracer::disabled()
             },
+            faults: self.faults.shard_view(shard as u64, shards as u64),
+            retry: self.retry,
         }
     }
 }
@@ -290,7 +304,7 @@ pub fn run_sharded(
     let started = std::time::Instant::now();
     let parts = partition_workload(registry, spec, plan.shards);
     let results = ordered_parallel(parts, plan.workers, |shard, (reg, sub_spec)| {
-        let out = run_trial(cfg.cluster_config(shard), reg, &sub_spec);
+        let out = run_trial(cfg.cluster_config(shard, plan.shards), reg, &sub_spec);
         ShardResult {
             records: out.records,
             finished_at: out.finished_at,
@@ -404,6 +418,8 @@ mod tests {
             } else {
                 Tracer::disabled()
             },
+            faults: cfg.faults,
+            retry: cfg.retry,
         }
     }
 
@@ -477,6 +493,61 @@ mod tests {
         });
         let xs: Vec<u64> = out.iter().map(|(x, _)| *x).collect();
         assert_eq!(xs, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn faulted_trials_are_byte_identical_at_every_worker_count() {
+        use seuss_faults::{FaultEvent, FaultKind};
+        let (reg, spec) = sample();
+        let mut cfg = ExecConfig::seuss_small().traced();
+        cfg.faults = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_millis(150),
+                kind: FaultKind::NodeCrash {
+                    reboot: SimDuration::from_millis(200),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(50),
+                kind: FaultKind::PacketLoss {
+                    prob: 0.3,
+                    span: SimDuration::from_millis(400),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(100),
+                kind: FaultKind::SnapshotCorruption { fn_id: 3 },
+            },
+        ]);
+        cfg.retry = RetryPolicy::resilient();
+        let w1 = run_sharded(&cfg, &reg, &spec, ShardPlan::new(4, 1));
+        let w2 = run_sharded(&cfg, &reg, &spec, ShardPlan::new(4, 2));
+        let w4 = run_sharded(&cfg, &reg, &spec, ShardPlan::new(4, 4));
+        assert_eq!(w1.records_jsonl(), w2.records_jsonl());
+        assert_eq!(w1.records_jsonl(), w4.records_jsonl());
+        assert_eq!(w1.trace_jsonl(), w4.trace_jsonl());
+        assert_eq!(w1.metrics_report().to_json(), w4.metrics_report().to_json());
+        // The faults actually fired somewhere in the merged trace.
+        assert!(
+            w1.trace_jsonl().contains("fault:node_crash"),
+            "crash missing from the merged trace"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_pre_fault_bytes() {
+        let (reg, spec) = sample();
+        let with_default = ExecConfig::seuss_small().traced();
+        let mut no_retry = ExecConfig::seuss_small().traced();
+        no_retry.retry = RetryPolicy::none();
+        let a = run_sharded(&with_default, &reg, &spec, ShardPlan::new(2, 2));
+        let b = run_sharded(&no_retry, &reg, &spec, ShardPlan::new(2, 2));
+        assert_eq!(
+            a.records_jsonl(),
+            b.records_jsonl(),
+            "without faults the retry policy must be unobservable"
+        );
+        assert_eq!(a.trace_jsonl(), b.trace_jsonl());
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub struct PhysMemory {
     /// Free-frame threshold below which [`PhysMemory::below_reclaim_threshold`]
     /// reports true (drives the SEUSS OOM daemon).
     reclaim_threshold_frames: u64,
+    /// Frames transiently withheld from the pool by injected memory
+    /// pressure (`seuss-faults`). Zero in a fault-free run, so the alloc
+    /// gate and reclaim signal reduce exactly to their original forms.
+    pressure_frames: u64,
 }
 
 impl PhysMemory {
@@ -89,6 +93,7 @@ impl PhysMemory {
                 ..MemStats::default()
             },
             reclaim_threshold_frames: capacity_frames / 50,
+            pressure_frames: 0,
         }
     }
 
@@ -108,13 +113,35 @@ impl PhysMemory {
     }
 
     /// True when free frames have dropped below the reclaim threshold.
+    /// Withheld pressure frames count as unavailable.
     pub fn below_reclaim_threshold(&self) -> bool {
-        self.stats.free_frames() < self.reclaim_threshold_frames
+        self.stats
+            .free_frames()
+            .saturating_sub(self.pressure_frames)
+            < self.reclaim_threshold_frames
+    }
+
+    /// Withholds `frames` from the pool: the effective capacity shrinks
+    /// until [`PhysMemory::release_pressure`]. Used by the fault
+    /// subsystem to model transient memory pressure; repeated calls
+    /// replace (not stack) the withheld amount.
+    pub fn apply_pressure(&mut self, frames: u64) {
+        self.pressure_frames = frames.min(self.stats.capacity_frames);
+    }
+
+    /// Lifts injected memory pressure.
+    pub fn release_pressure(&mut self) {
+        self.pressure_frames = 0;
+    }
+
+    /// Frames currently withheld by injected pressure.
+    pub fn pressure_frames(&self) -> u64 {
+        self.pressure_frames
     }
 
     /// Allocates one frame of the given kind with refcount 1.
     pub fn alloc(&mut self, kind: FrameKind) -> Result<FrameId, MemError> {
-        if self.stats.used_frames >= self.stats.capacity_frames {
+        if self.stats.used_frames + self.pressure_frames >= self.stats.capacity_frames {
             return Err(MemError::OutOfFrames);
         }
         let idx = match self.free_list.pop() {
@@ -385,6 +412,41 @@ mod tests {
         assert!(!m.below_reclaim_threshold()); // 3 free, not < 3
         held.push(m.alloc(FrameKind::Data).unwrap());
         assert!(m.below_reclaim_threshold()); // 2 free
+    }
+
+    #[test]
+    fn pressure_shrinks_effective_capacity_then_lifts() {
+        let mut m = PhysMemory::new(10 * PAGE_SIZE as u64);
+        m.set_reclaim_threshold_frames(2);
+        let mut held = Vec::new();
+        for _ in 0..4 {
+            held.push(m.alloc(FrameKind::Data).unwrap());
+        }
+        assert!(!m.below_reclaim_threshold()); // 6 free
+        m.apply_pressure(5);
+        assert_eq!(m.pressure_frames(), 5);
+        // 6 free - 5 withheld = 1 available < threshold 2.
+        assert!(m.below_reclaim_threshold());
+        // One more alloc fits (4 used + 5 pressure = 9 < 10), the next not.
+        held.push(m.alloc(FrameKind::Data).unwrap());
+        assert_eq!(m.alloc(FrameKind::Data), Err(MemError::OutOfFrames));
+        m.release_pressure();
+        assert!(!m.below_reclaim_threshold());
+        held.push(m.alloc(FrameKind::Data).unwrap());
+        // Pressure never appears in the reported stats: the frames come
+        // back untouched once the window closes.
+        assert_eq!(m.stats().used_frames, 6);
+        assert_eq!(m.stats().capacity_frames, 10);
+    }
+
+    #[test]
+    fn pressure_clamps_to_capacity() {
+        let mut m = PhysMemory::new(4 * PAGE_SIZE as u64);
+        m.apply_pressure(1_000_000);
+        assert_eq!(m.pressure_frames(), 4);
+        assert_eq!(m.alloc(FrameKind::Data), Err(MemError::OutOfFrames));
+        m.release_pressure();
+        assert!(m.alloc(FrameKind::Data).is_ok());
     }
 
     #[test]

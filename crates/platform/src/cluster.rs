@@ -20,9 +20,10 @@ use std::collections::VecDeque;
 
 use seuss_baseline::{ContainerId, DockerEngine, DockerError};
 use seuss_core::{Invocation, IoToken, NodeError, PathKind, SeussConfig, SeussNode, ShimProcess};
+use seuss_faults::{FaultKind, FaultPlan, RetryPolicy, FAULT_EXEC_STREAM};
 use seuss_net::ExternalServer;
 use seuss_trace::{SpanName, TraceEvent, Tracer};
-use simcore::{Scheduler, SimDuration, SimTime, Simulation, World};
+use simcore::{stream_seed, Scheduler, SimDuration, SimRng, SimTime, Simulation, World};
 
 use crate::cores::CorePool;
 use crate::record::{record, RequestRecord, RequestStatus, ServedBy, TrialAnalysis};
@@ -61,6 +62,14 @@ pub struct ClusterConfig {
     /// Pass [`Tracer::enabled`] to capture spans, events, and metrics for
     /// the whole trial.
     pub tracer: Tracer,
+    /// Fault schedule injected into the trial. [`FaultPlan::none`] (the
+    /// default) draws nothing from the fault RNG streams, so fault-free
+    /// trials stay byte-identical to pre-fault builds.
+    pub faults: FaultPlan,
+    /// How the platform retries requests that an injected fault killed.
+    /// Only consulted when a fault interferes with a request; with
+    /// [`RetryPolicy::none`] faulted requests error immediately.
+    pub retry: RetryPolicy,
 }
 
 impl ClusterConfig {
@@ -75,6 +84,8 @@ impl ClusterConfig {
             linux_exec_nop: SimDuration::from_millis(1),
             seed: 42,
             tracer: Tracer::disabled(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::resilient(),
         }
     }
 
@@ -130,6 +141,12 @@ pub enum Ev {
     },
     /// Platform timeout check.
     Timeout(usize),
+    /// An injected fault (index into the plan) begins.
+    FaultBegin(usize),
+    /// A windowed fault (index into the plan) ends.
+    FaultEnd(usize),
+    /// A faulted request re-enters the platform after backoff.
+    Retry(usize),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,6 +168,8 @@ struct Req {
     container: Option<ContainerId>,
     outcome_done: bool, // segment outcome: finished vs blocked
     timeout_ev: Option<simcore::EventId>,
+    attempts: u32,    // dispatch attempts so far (1 = first try)
+    crash_epoch: u64, // cluster crash epoch when its segment started
 }
 
 /// A core task: run or resume one request's segment.
@@ -196,6 +215,16 @@ pub struct Cluster {
     pub issued: u64,
     /// The trial's tracing handle (shared with the backend layers).
     pub tracer: Tracer,
+    // Fault injection + resilience (see DESIGN.md "Fault injection").
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    retry_budget_left: u64,
+    fault_rng: SimRng, // only drawn inside active loss windows
+    loss: Option<(f64, SimTime)>,
+    node_down_until: Option<SimTime>,
+    straggler: Vec<f64>, // per-core slowdown factor (1.0 = healthy)
+    crash_epoch: u64,
+    seed: u64,
 }
 
 impl Cluster {
@@ -225,6 +254,7 @@ impl Cluster {
                 }
             }
         };
+        let straggler = vec![1.0; config.cores as usize];
         Cluster {
             backend,
             cores: CorePool::new(config.cores),
@@ -243,6 +273,15 @@ impl Cluster {
             cfg_linux_exec_nop: config.linux_exec_nop,
             issued: 0,
             tracer,
+            faults: config.faults,
+            retry: config.retry,
+            retry_budget_left: config.retry.budget,
+            fault_rng: SimRng::new(stream_seed(config.seed, FAULT_EXEC_STREAM)),
+            loss: None,
+            node_down_until: None,
+            straggler,
+            crash_epoch: 0,
+            seed: config.seed,
         }
     }
 
@@ -280,6 +319,8 @@ impl Cluster {
             container: None,
             outcome_done: false,
             timeout_ev: None,
+            attempts: 1,
+            crash_epoch: 0,
         });
         self.issued += 1;
         self.reqs.len() - 1
@@ -345,6 +386,24 @@ impl Cluster {
             }
             return;
         }
+        if self.node_down(now) {
+            // Crash landed while the task was queued: free the core and
+            // re-deliver the request once the node has rebooted.
+            self.shed_to_reboot(now, req, sched);
+            if let Some((core, task)) = self.cores.release(core) {
+                self.start_task(now, core, task, sched);
+            }
+            return;
+        }
+        if matches!(task, Task::Resume(_)) && self.reqs[req].crash_epoch != self.crash_epoch {
+            // The UC this continuation would resume died with the node.
+            self.fault_retry(now, req, sched);
+            if let Some((core, task)) = self.cores.release(core) {
+                self.start_task(now, core, task, sched);
+            }
+            return;
+        }
+        self.reqs[req].crash_epoch = self.crash_epoch;
         let duration = match &mut self.backend {
             Backend::Seuss { node, .. } => {
                 let r = &mut self.reqs[req];
@@ -405,6 +464,13 @@ impl Cluster {
                 self.tracer.advance(d);
                 d
             }
+        };
+        // A straggling core stretches every segment it runs.
+        let factor = self.straggler.get(core as usize).copied().unwrap_or(1.0);
+        let duration = if factor > 1.0 {
+            SimDuration::from_nanos((duration.as_nanos() as f64 * factor).round() as u64)
+        } else {
+            duration
         };
         self.cores.record_busy(duration.as_nanos());
         sched.schedule_at(now + duration, Ev::SegmentEnd { core, req });
@@ -543,6 +609,122 @@ impl Cluster {
             sched.schedule_at(now + lat, Ev::StemcellDone);
         }
     }
+
+    /// Whether the compute node is inside a crash/reboot window.
+    fn node_down(&self, now: SimTime) -> bool {
+        self.node_down_until.is_some_and(|t| now < t)
+    }
+
+    /// The packet-loss probability active at `now`, if any.
+    fn active_loss(&self, now: SimTime) -> Option<f64> {
+        self.loss.and_then(|(p, until)| (now < until).then_some(p))
+    }
+
+    /// A fault killed this request's current attempt: retry it after
+    /// backoff if the policy and budget allow, error it otherwise.
+    fn fault_retry(&mut self, now: SimTime, req: usize, sched: &mut Scheduler<Ev>) {
+        if self.reqs[req].status != ReqStatus::InFlight {
+            return;
+        }
+        let attempts = self.reqs[req].attempts;
+        if !self.retry.allows(attempts) || self.retry_budget_left == 0 {
+            self.finish(now, req, RequestStatus::Error, sched);
+            return;
+        }
+        self.retry_budget_left -= 1;
+        self.reqs[req].attempts = attempts + 1;
+        let backoff = self.retry.backoff(self.seed, req as u64, attempts);
+        self.tracer.event(TraceEvent::FaultRetry);
+        sched.schedule_at(now + backoff, Ev::Retry(req));
+    }
+
+    /// Applies fault `i` of the plan and schedules its end, if windowed.
+    fn fault_begin(&mut self, now: SimTime, i: usize, sched: &mut Scheduler<Ev>) {
+        let kind = self.faults.events()[i].kind;
+        match kind {
+            FaultKind::NodeCrash { reboot } => {
+                self.crash_epoch += 1;
+                self.node_down_until = Some(now + reboot);
+                match &mut self.backend {
+                    Backend::Seuss { node, .. } => {
+                        // The node's tracer emits FaultNodeCrash.
+                        node.crash();
+                    }
+                    Backend::Linux { docker, .. } => {
+                        self.tracer.event(TraceEvent::FaultNodeCrash);
+                        docker.crash();
+                    }
+                }
+                sched.schedule_at(now + reboot, Ev::FaultEnd(i));
+            }
+            FaultKind::PacketLoss { prob, span } => {
+                self.loss = Some((prob, now + span));
+                sched.schedule_at(now + span, Ev::FaultEnd(i));
+            }
+            FaultKind::MemPressure { frames, span } => {
+                self.tracer.event(TraceEvent::FaultMemPressure { frames });
+                if let Backend::Seuss { node, .. } = &mut self.backend {
+                    node.mem.apply_pressure(frames);
+                    node.run_oom_daemon();
+                }
+                sched.schedule_at(now + span, Ev::FaultEnd(i));
+            }
+            FaultKind::StragglerCore { core, factor, span } => {
+                if let Some(slot) = self.straggler.get_mut(core as usize) {
+                    *slot = factor;
+                    self.tracer.event(TraceEvent::FaultStraggler);
+                    sched.schedule_at(now + span, Ev::FaultEnd(i));
+                }
+            }
+            FaultKind::SnapshotCorruption { fn_id } => {
+                // Silent data damage: detection (and the trace event)
+                // happens on the function's next warm-path lookup.
+                if let Backend::Seuss { node, .. } = &mut self.backend {
+                    node.corrupt_fn_snapshot(fn_id);
+                }
+            }
+        }
+    }
+
+    /// Lifts windowed fault `i` of the plan.
+    fn fault_end(&mut self, now: SimTime, i: usize) {
+        let kind = self.faults.events()[i].kind;
+        match kind {
+            FaultKind::NodeCrash { .. } => {
+                if self.node_down_until.is_some_and(|t| t <= now) {
+                    self.node_down_until = None;
+                    self.tracer.event(TraceEvent::FaultNodeRestart);
+                }
+            }
+            FaultKind::PacketLoss { .. } => {
+                // Only clear a window that has actually elapsed (a later
+                // overlapping window may have replaced this one).
+                if self.loss.is_some_and(|(_, until)| until <= now) {
+                    self.loss = None;
+                }
+            }
+            FaultKind::MemPressure { .. } => {
+                if let Backend::Seuss { node, .. } = &mut self.backend {
+                    node.mem.release_pressure();
+                }
+            }
+            FaultKind::StragglerCore { core, .. } => {
+                if let Some(slot) = self.straggler.get_mut(core as usize) {
+                    *slot = 1.0;
+                }
+            }
+            FaultKind::SnapshotCorruption { .. } => {}
+        }
+    }
+
+    /// The node is down: shed the request to re-arrive once the node has
+    /// rebooted (its platform timeout stays armed, so a long outage still
+    /// surfaces as errors).
+    fn shed_to_reboot(&mut self, now: SimTime, req: usize, sched: &mut Scheduler<Ev>) {
+        self.tracer.event(TraceEvent::FaultShed);
+        let resume = self.node_down_until.unwrap_or(now);
+        sched.schedule_at(resume, Ev::NodeReceive(req));
+    }
 }
 
 fn path_to_served(p: PathKind, prior: ServedBy) -> ServedBy {
@@ -597,6 +779,20 @@ impl World for Cluster {
                 if req == usize::MAX || self.reqs[req].status != ReqStatus::InFlight {
                     return;
                 }
+                // An active loss window may eat the request's packet on
+                // the way in. The fault RNG is only consulted inside a
+                // window, so plans without loss draw nothing from it.
+                if let Some(p) = self.active_loss(now) {
+                    if self.fault_rng.chance(p) {
+                        self.tracer.event(TraceEvent::FaultPacketDrop);
+                        self.fault_retry(now, req, sched);
+                        return;
+                    }
+                }
+                if self.node_down(now) {
+                    self.shed_to_reboot(now, req, sched);
+                    return;
+                }
                 match &self.backend {
                     Backend::Seuss { .. } => self.submit(now, Task::Run(req), sched),
                     Backend::Linux { .. } => self.linux_serve(now, req, sched),
@@ -616,6 +812,12 @@ impl World for Cluster {
                         }
                         self.linux_pump(now, sched);
                     }
+                    return;
+                }
+                if self.reqs[req].crash_epoch != self.crash_epoch {
+                    // The node crashed while this segment ran: its result
+                    // (and any UC it produced) died with the node.
+                    self.fault_retry(now, req, sched);
                     return;
                 }
                 match &mut self.backend {
@@ -668,6 +870,11 @@ impl World for Cluster {
                         }
                         self.linux_pump(now, sched);
                     }
+                    return;
+                }
+                if self.reqs[req].crash_epoch != self.crash_epoch {
+                    // The blocked UC awaiting this reply died with the node.
+                    self.fault_retry(now, req, sched);
                     return;
                 }
                 self.submit(now, Task::Resume(req), sched);
@@ -769,6 +976,16 @@ impl World for Cluster {
                     self.finish(now, req, RequestStatus::Error, sched);
                 }
             }
+            Ev::FaultBegin(i) => self.fault_begin(now, i, sched),
+            Ev::FaultEnd(i) => self.fault_end(now, i),
+            Ev::Retry(req) => {
+                if self.reqs[req].status != ReqStatus::InFlight {
+                    return;
+                }
+                // The retried request re-traverses the control plane.
+                let hop = self.cfg_cp_oneway + self.shim_oneway();
+                sched.schedule_at(now + hop, Ev::NodeReceive(req));
+            }
         }
     }
 }
@@ -793,9 +1010,13 @@ pub fn run_trial(config: ClusterConfig, registry: Registry, spec: &WorkloadSpec)
     let workers = spec.workers;
     let open = spec.open_arrivals.clone();
     let cluster = Cluster::new(config, registry, spec);
+    let fault_starts: Vec<SimTime> = cluster.faults.events().iter().map(|e| e.at).collect();
     let mut sim = Simulation::new(cluster);
     for w in 0..workers {
         sim.schedule_at(SimTime::ZERO, Ev::WorkerIssue(w));
+    }
+    for (i, at) in fault_starts.into_iter().enumerate() {
+        sim.schedule_at(at, Ev::FaultBegin(i));
     }
     for (at, fn_id) in open {
         let req = sim.world_mut().new_request(fn_id, true, None);
@@ -1000,5 +1221,279 @@ mod tests {
         let out = run_trial(cfg, reg, &spec);
         assert_eq!(out.analysis.completed, 8);
         assert!(out.finished_at >= SimTime::from_millis(400));
+    }
+
+    /// Regression pin for the "already concluded (e.g. timeout raced
+    /// completion)" branch of [`Cluster::finish`]: when the timeout and
+    /// the completion land at the same virtual instant, whichever was
+    /// scheduled first wins (the engine tie-breaks equal times by
+    /// schedule order) and the request concludes exactly once.
+    #[test]
+    fn timeout_racing_completion_at_one_instant_concludes_once() {
+        for timeout_first in [true, false] {
+            let reg = nop_registry(1);
+            let spec = WorkloadSpec::closed_loop(Vec::new(), 0);
+            let cluster = Cluster::new(small_seuss(), reg, &spec);
+            let mut sim = Simulation::new(cluster);
+            let req = sim.world_mut().new_request(0, false, None);
+            let t = SimTime::from_millis(500);
+            let ok = Ev::Complete {
+                req,
+                status: RequestStatus::Ok,
+            };
+            if timeout_first {
+                sim.schedule_at(t, Ev::Timeout(req));
+                sim.schedule_at(t, ok);
+            } else {
+                sim.schedule_at(t, ok);
+                sim.schedule_at(t, Ev::Timeout(req));
+            }
+            sim.run();
+            let world = sim.world_mut();
+            assert_eq!(
+                world.records.len(),
+                1,
+                "exactly one record (timeout_first={timeout_first})"
+            );
+            let expect = if timeout_first {
+                RequestStatus::Error
+            } else {
+                RequestStatus::Ok
+            };
+            assert_eq!(
+                world.records[0].status, expect,
+                "the first-scheduled event wins the race (timeout_first={timeout_first})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_and_retry_policy_change_nothing() {
+        let reg = nop_registry(4);
+        let order: Vec<FnId> = (0..64).map(|i| i % 4).collect();
+        let spec = WorkloadSpec::closed_loop(order, 8);
+        let base = run_trial(small_seuss(), reg.clone(), &spec);
+        // Without faults, the retry policy must never be consulted, so
+        // even the no-retry ablation is bit-for-bit identical.
+        let mut cfg = small_seuss();
+        cfg.retry = RetryPolicy::none();
+        cfg.faults = FaultPlan::none();
+        let again = run_trial(cfg, reg, &spec);
+        assert_eq!(base.records.len(), again.records.len());
+        for (a, b) in base.records.iter().zip(&again.records) {
+            assert_eq!(a.latency_ms, b.latency_ms);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.served_by, b.served_by);
+        }
+        assert_eq!(base.events, again.events);
+        assert_eq!(base.finished_at, again.finished_at);
+    }
+
+    #[test]
+    fn node_crash_recovers_with_retry_but_errors_without() {
+        // 100 ms segments guarantee work is in flight when the crash
+        // lands at t = 250 ms.
+        let mk = || {
+            let mut reg = Registry::new();
+            reg.register_many(0, 2, FnKind::Cpu(SimDuration::from_millis(100)));
+            let order: Vec<FnId> = (0..24).map(|i| i % 2).collect();
+            (reg, WorkloadSpec::closed_loop(order, 4))
+        };
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime::from_millis(250),
+            FaultKind::NodeCrash {
+                reboot: SimDuration::from_millis(400),
+            },
+        );
+
+        let (reg, spec) = mk();
+        let mut resilient = small_seuss();
+        resilient.faults = plan.clone();
+        resilient.retry = RetryPolicy::resilient();
+        resilient.tracer = Tracer::enabled();
+        let out = run_trial(resilient, reg, &spec);
+        assert_eq!(out.analysis.errors, 0, "retry + reboot recovers everyone");
+        assert_eq!(out.analysis.completed, 24);
+        let events = out.tracer.events();
+        let count = |ev: TraceEvent| events.iter().filter(|e| e.event == ev).count();
+        assert_eq!(count(TraceEvent::FaultNodeCrash), 1);
+        assert_eq!(count(TraceEvent::FaultNodeRestart), 1);
+        assert!(
+            count(TraceEvent::FaultRetry) > 0,
+            "segments in flight at the crash instant were retried"
+        );
+
+        let (reg, spec) = mk();
+        let mut fragile = small_seuss();
+        fragile.faults = plan;
+        fragile.retry = RetryPolicy::none();
+        let out = run_trial(fragile, reg, &spec);
+        assert!(
+            out.analysis.errors > 0,
+            "without retry, segments lost in the crash surface as errors"
+        );
+        assert_eq!(out.analysis.completed + out.analysis.errors, 24);
+    }
+
+    #[test]
+    fn packet_loss_is_retried_until_delivered() {
+        let reg = nop_registry(1);
+        let order = vec![0u64; 30];
+        let spec = WorkloadSpec::closed_loop(order, 2);
+        let mut cfg = small_seuss();
+        cfg.faults = FaultPlan::from_events(vec![seuss_faults::FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::PacketLoss {
+                prob: 0.5,
+                span: SimDuration::from_secs(30),
+            },
+        }]);
+        cfg.tracer = Tracer::enabled();
+        let out = run_trial(cfg, reg, &spec);
+        assert_eq!(out.analysis.completed + out.analysis.errors, 30);
+        assert!(
+            out.analysis.completed > 20,
+            "4 attempts beat 50% loss almost always: {:?}",
+            out.analysis
+        );
+        let dropped = out
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| e.event == TraceEvent::FaultPacketDrop)
+            .count();
+        let retried = out
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| e.event == TraceEvent::FaultRetry)
+            .count();
+        assert!(
+            dropped > 0,
+            "a 50% window over the whole trial drops packets"
+        );
+        assert!(retried > 0 && retried <= dropped);
+    }
+
+    #[test]
+    fn straggler_core_stretches_segments() {
+        let mut reg = Registry::new();
+        reg.register_many(0, 1, FnKind::Cpu(SimDuration::from_millis(100)));
+        let spec = WorkloadSpec::closed_loop(vec![0; 6], 1);
+        let mut base_cfg = small_seuss();
+        base_cfg.cores = 1;
+        let base = run_trial(base_cfg, reg.clone(), &spec);
+
+        let mut slow_cfg = small_seuss();
+        slow_cfg.cores = 1;
+        slow_cfg.faults = FaultPlan::from_events(vec![seuss_faults::FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::StragglerCore {
+                core: 0,
+                factor: 3.0,
+                span: SimDuration::from_secs(60),
+            },
+        }]);
+        let slow = run_trial(slow_cfg, reg, &spec);
+        assert_eq!(slow.analysis.completed, 6);
+        assert!(
+            slow.finished_at.as_nanos() > base.finished_at.as_nanos() * 2,
+            "3x straggler on the only core: {:?} vs {:?}",
+            slow.finished_at,
+            base.finished_at
+        );
+    }
+
+    #[test]
+    fn mem_pressure_reclaims_caches_without_errors() {
+        let reg = nop_registry(4);
+        let order: Vec<FnId> = (0..48).map(|i| i % 4).collect();
+        let spec = WorkloadSpec::closed_loop(order, 2);
+        let mut cfg = small_seuss();
+        // Withhold most of the 2 GiB pool mid-trial; the OOM daemon sheds
+        // idle UCs and snapshots instead of failing requests.
+        cfg.faults = FaultPlan::from_events(vec![seuss_faults::FaultEvent {
+            at: SimTime::from_millis(300),
+            kind: FaultKind::MemPressure {
+                frames: 400_000,
+                span: SimDuration::from_secs(2),
+            },
+        }]);
+        cfg.tracer = Tracer::enabled();
+        let out = run_trial(cfg, reg, &spec);
+        assert_eq!(out.analysis.completed, 48, "{:?}", out.analysis);
+        let pressured = out
+            .tracer
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::FaultMemPressure { .. }));
+        assert!(pressured);
+    }
+
+    #[test]
+    fn corrupted_snapshot_detected_and_repaired_mid_trial() {
+        let reg = nop_registry(2);
+        // Alternating functions with a single-slot idle cache: each
+        // invocation evicts the other function's idle UC, so every
+        // request after the two colds exercises the snapshot (warm) path.
+        let order: Vec<FnId> = (0..16).map(|i| i % 2).collect();
+        let spec = WorkloadSpec::closed_loop(order, 1);
+        let mut cfg = small_seuss();
+        if let BackendKind::Seuss(ref mut node_cfg) = cfg.backend {
+            **node_cfg = SeussConfig::builder()
+                .mem_mib(2048)
+                .idle_per_fn(1)
+                .idle_total(1)
+                .build()
+                .expect("valid test config");
+        }
+        cfg.faults = FaultPlan::from_events(vec![seuss_faults::FaultEvent {
+            at: SimTime::from_millis(400),
+            kind: FaultKind::SnapshotCorruption { fn_id: 0 },
+        }]);
+        cfg.tracer = Tracer::enabled();
+        let out = run_trial(cfg, reg, &spec);
+        assert_eq!(out.analysis.completed, 16);
+        assert_eq!(out.analysis.errors, 0);
+        // One extra cold start: the two originals plus the repair.
+        assert_eq!(out.analysis.paths.0, 3, "paths: {:?}", out.analysis.paths);
+        let detected = out
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| e.event == TraceEvent::FaultSnapshotCorrupt)
+            .count();
+        assert_eq!(detected, 1, "detected exactly once, then repaired");
+    }
+
+    #[test]
+    fn linux_backend_crash_loses_containers_and_recovers() {
+        let reg = nop_registry(2);
+        let order: Vec<FnId> = (0..24).map(|i| i % 2).collect();
+        let spec = WorkloadSpec::closed_loop(order, 2);
+        let mut cfg = ClusterConfig::linux_paper();
+        cfg.faults = FaultPlan::from_events(vec![seuss_faults::FaultEvent {
+            at: SimTime::from_millis(900),
+            kind: FaultKind::NodeCrash {
+                reboot: SimDuration::from_millis(500),
+            },
+        }]);
+        cfg.tracer = Tracer::enabled();
+        let out = run_trial(cfg, reg, &spec);
+        assert_eq!(out.analysis.completed + out.analysis.errors, 24);
+        assert!(
+            out.analysis.completed >= 20,
+            "most requests survive the crash: {:?}",
+            out.analysis
+        );
+        // Containers were recreated after the crash (cold starts resume).
+        let crashes = out
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| e.event == TraceEvent::FaultNodeCrash)
+            .count();
+        assert_eq!(crashes, 1);
     }
 }

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use seuss_core::{FnId, Invocation, NodeError, PathKind, SeussConfig, SeussNode};
 use seuss_net::TcpCostModel;
+use seuss_trace::{TraceEvent, Tracer};
 use simcore::SimDuration;
 
 /// How a distributed invocation was served.
@@ -49,6 +50,8 @@ pub struct DrStats {
     pub remote_warm: u64,
     /// Bytes shipped between nodes.
     pub bytes_transferred: u64,
+    /// Invocations rerouted away from an unhealthy node.
+    pub failovers: u64,
 }
 
 /// A multi-node SEUSS cluster with a replicated snapshot index.
@@ -63,6 +66,10 @@ pub struct DrSeussCluster {
     pub bandwidth_bytes_per_s: f64,
     /// Statistics.
     pub stats: DrStats,
+    /// Per-node health; the load balancer routes around `false` entries.
+    healthy: Vec<bool>,
+    /// Cluster-level trace sink (failovers, crashes, restarts).
+    pub tracer: Tracer,
 }
 
 impl DrSeussCluster {
@@ -80,14 +87,52 @@ impl DrSeussCluster {
         }
         Ok((
             DrSeussCluster {
+                healthy: vec![true; nodes.len()],
                 nodes,
                 index: HashMap::new(),
                 link: TcpCostModel::datacenter(),
                 bandwidth_bytes_per_s: 1.25e9,
                 stats: DrStats::default(),
+                tracer: Tracer::disabled(),
             },
             init,
         ))
+    }
+
+    /// Whether node `n` is currently serving.
+    pub fn is_healthy(&self, n: usize) -> bool {
+        self.healthy.get(n).copied().unwrap_or(false)
+    }
+
+    /// Healthy node count (the cluster's serving capacity).
+    pub fn healthy_count(&self) -> usize {
+        self.healthy.iter().filter(|&&h| h).count()
+    }
+
+    /// Crashes node `n`: its UC and snapshot caches are lost, the global
+    /// index forgets its replicas (they died with it), and the load
+    /// balancer routes around it until [`DrSeussCluster::restart_node`].
+    /// Returns how many cached items the node lost.
+    pub fn crash_node(&mut self, n: usize) -> u64 {
+        assert!(n < self.nodes.len(), "no such node");
+        let lost = self.nodes[n].crash();
+        self.healthy[n] = false;
+        for holders in self.index.values_mut() {
+            holders.retain(|&h| h != n);
+        }
+        self.index.retain(|_, holders| !holders.is_empty());
+        self.tracer.event(TraceEvent::FaultNodeCrash);
+        lost
+    }
+
+    /// The crashed node rejoins with empty caches; peers re-seed it on
+    /// demand through remote-warm fetches.
+    pub fn restart_node(&mut self, n: usize) {
+        assert!(n < self.nodes.len(), "no such node");
+        if !self.healthy[n] {
+            self.healthy[n] = true;
+            self.tracer.event(TraceEvent::FaultNodeRestart);
+        }
     }
 
     /// Time to ship `bytes` between two nodes.
@@ -104,8 +149,10 @@ impl DrSeussCluster {
 
     /// Serves an invocation that the load balancer routed to `at`.
     ///
-    /// Policy: local cache first; else fetch the snapshot diff from any
-    /// holder; else cold-start locally and publish to the index.
+    /// Policy: if `at` is unhealthy, fail over to the nearest healthy
+    /// node (ring order — deterministic). Then local cache first; else
+    /// fetch the snapshot diff from any *healthy* holder; else cold-start
+    /// locally and publish to the index.
     pub fn invoke_at(
         &mut self,
         at: usize,
@@ -114,6 +161,17 @@ impl DrSeussCluster {
         args: &[(&str, &str)],
     ) -> Result<(DrPath, SimDuration, String), NodeError> {
         assert!(at < self.nodes.len(), "no such node");
+        let at = if self.healthy[at] {
+            at
+        } else {
+            let n = self.nodes.len();
+            let Some(alt) = (1..n).map(|d| (at + d) % n).find(|&i| self.healthy[i]) else {
+                return Err(NodeError::Function("no healthy node in the cluster".into()));
+            };
+            self.tracer.event(TraceEvent::FaultFailover);
+            self.stats.failovers += 1;
+            alt
+        };
 
         // Remote fetch decision happens before invoking: if the receiving
         // node has no cached state but a peer does, migrate first.
@@ -122,7 +180,11 @@ impl DrSeussCluster {
         let mut extra = SimDuration::ZERO;
         let mut fetched = false;
         if !locally_cached {
-            let holder = self.holders(f).iter().copied().find(|&h| h != at);
+            let holder = self
+                .holders(f)
+                .iter()
+                .copied()
+                .find(|&h| h != at && self.healthy[h]);
             if let Some(h) = holder {
                 extra += self.fetch(f, h, at)?;
                 fetched = true;
@@ -178,11 +240,11 @@ impl DrSeussCluster {
         let mut cost = SimDuration::ZERO;
         let mut migrated = 0u64;
         for f in unique {
-            // Least-loaded peer = fewest index entries.
+            // Least-loaded healthy peer = fewest index entries.
             let target = (0..self.nodes.len())
-                .filter(|&n| n != node)
+                .filter(|&n| n != node && self.healthy[n])
                 .min_by_key(|&n| self.index.values().filter(|h| h.contains(&n)).count())
-                .expect("peer exists");
+                .expect("healthy peer exists");
             cost += self.fetch(f, node, target)?;
             migrated += 1;
         }
@@ -316,6 +378,67 @@ mod tests {
                 .expect("serve");
             assert!(matches!(p, DrPath::LocalWarm | DrPath::LocalHot), "{p:?}");
         }
+    }
+
+    #[test]
+    fn crash_fails_over_then_restart_refetches_from_peer() {
+        let (mut cluster, _) = DrSeussCluster::new(3, small_cfg()).expect("cluster");
+        cluster.tracer = Tracer::enabled();
+        cluster.invoke_at(0, 7, NOP, &[]).expect("cold on 0");
+        cluster.invoke_at(1, 7, NOP, &[]).expect("remote-warm on 1");
+
+        let lost = cluster.crash_node(0);
+        assert!(lost > 0, "the crash destroyed cached state");
+        assert!(!cluster.is_healthy(0));
+        assert_eq!(cluster.healthy_count(), 2);
+        assert_eq!(cluster.holders(7), &[1], "node 0's replica died with it");
+
+        // Requests the balancer aims at the dead node fail over to the
+        // next node in the ring, which still holds the snapshot.
+        let (p, _, r) = cluster.invoke_at(0, 7, NOP, &[]).expect("failover");
+        assert_eq!(r, "0");
+        assert!(matches!(p, DrPath::LocalHot | DrPath::LocalWarm), "{p:?}");
+        assert_eq!(cluster.stats.failovers, 1);
+
+        // The rebooted node rejoins empty and re-seeds from its peer.
+        cluster.restart_node(0);
+        assert_eq!(cluster.healthy_count(), 3);
+        let (p, _, _) = cluster.invoke_at(0, 7, NOP, &[]).expect("re-fetch");
+        assert_eq!(p, DrPath::RemoteWarm, "peer re-seeds the rejoined node");
+        assert!(cluster.holders(7).contains(&0));
+
+        let events = cluster.tracer.events();
+        let count = |ev: TraceEvent| events.iter().filter(|e| e.event == ev).count();
+        assert_eq!(count(TraceEvent::FaultNodeCrash), 1);
+        assert_eq!(count(TraceEvent::FaultNodeRestart), 1);
+        assert_eq!(count(TraceEvent::FaultFailover), 1);
+    }
+
+    #[test]
+    fn crashing_every_holder_degrades_to_cold_without_data_loss() {
+        let (mut cluster, _) = DrSeussCluster::new(2, small_cfg()).expect("cluster");
+        cluster.invoke_at(0, 3, NOP, &[]).expect("cold on 0");
+        cluster.crash_node(0);
+        assert!(cluster.holders(3).is_empty(), "the only replica is gone");
+        // Failover lands on node 1, which recompiles from source (cold)
+        // and republishes — graceful degradation, not an error.
+        let (p, _, r) = cluster.invoke_at(0, 3, NOP, &[]).expect("degraded");
+        assert_eq!(p, DrPath::LocalCold);
+        assert_eq!(r, "0");
+        assert_eq!(cluster.holders(3), &[1]);
+    }
+
+    #[test]
+    fn all_nodes_down_is_an_error() {
+        let (mut cluster, _) = DrSeussCluster::new(2, small_cfg()).expect("cluster");
+        cluster.crash_node(0);
+        cluster.crash_node(1);
+        assert_eq!(cluster.healthy_count(), 0);
+        assert!(cluster.invoke_at(0, 1, NOP, &[]).is_err());
+        // One restart restores availability.
+        cluster.restart_node(1);
+        assert!(cluster.invoke_at(0, 1, NOP, &[]).is_ok());
+        assert_eq!(cluster.stats.failovers, 1);
     }
 
     #[test]

@@ -84,6 +84,38 @@ pub struct Snapshot {
     diff_pages: u64,
     active_ucs: u32,
     children: u32,
+    /// Integrity checksum folded over the capture-time state. Every
+    /// field it covers is immutable after capture, so a mismatch can only
+    /// mean the snapshot was damaged ([`SnapshotStore::corrupt`]).
+    checksum: u64,
+}
+
+/// Folds the capture-time state into the integrity checksum.
+fn fold_checksum(
+    root: seuss_paging::TableId,
+    regs: &RegisterState,
+    kind: SnapshotKind,
+    label: &str,
+    diff_pages: u64,
+) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(root.index() as u64);
+    h = mix(h ^ regs.rip.as_u64());
+    h = mix(h ^ regs.rsp.as_u64());
+    h = mix(h ^ regs.rflags);
+    for g in regs.gpr {
+        h = mix(h ^ g);
+    }
+    h = mix(h ^ matches!(kind, SnapshotKind::Function) as u64);
+    for b in label.bytes() {
+        h = mix(h ^ b as u64);
+    }
+    mix(h ^ diff_pages)
 }
 
 impl Snapshot {
@@ -130,6 +162,23 @@ impl Snapshot {
     /// UCs currently deployed from this snapshot.
     pub fn active_ucs(&self) -> u32 {
         self.active_ucs
+    }
+
+    /// The capture-time integrity checksum.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Whether the stored checksum still matches the capture-time state.
+    pub fn is_intact(&self) -> bool {
+        self.checksum
+            == fold_checksum(
+                self.root,
+                &self.regs,
+                self.kind,
+                &self.label,
+                self.diff_pages,
+            )
     }
 }
 
@@ -207,16 +256,19 @@ impl SnapshotStore {
         if let Some(p) = parent {
             self.get_mut(p)?.children += 1;
         }
+        let label = label.into();
+        let checksum = fold_checksum(root, &regs, kind, &label, diff_pages);
         let snap = Snapshot {
             root,
             regs,
             regions: space.regions().to_vec(),
             kind,
-            label: label.into(),
+            label,
             parent,
             diff_pages,
             active_ucs: 0,
             children: 0,
+            checksum,
         };
         for (idx, slot) in self.snaps.iter_mut().enumerate() {
             if slot.is_none() {
@@ -282,6 +334,21 @@ impl SnapshotStore {
             }
         }
         mmu.release_root(mem, snap.root);
+        Ok(())
+    }
+
+    /// Verifies a snapshot's integrity checksum. `Ok(true)` means the
+    /// capture-time state still hashes to the stored checksum.
+    pub fn verify(&self, id: SnapshotId) -> Result<bool, SnapshotError> {
+        Ok(self.get(id)?.is_intact())
+    }
+
+    /// Damages a snapshot's stored checksum in place (fault injection:
+    /// simulated bit rot). The snapshot still deploys — detection is the
+    /// caller's job via [`SnapshotStore::verify`] before use.
+    pub fn corrupt(&mut self, id: SnapshotId) -> Result<(), SnapshotError> {
+        let snap = self.get_mut(id)?;
+        snap.checksum ^= 0xDEAD_BEEF_0BAD_F00D;
         Ok(())
     }
 
@@ -568,6 +635,52 @@ mod tests {
         assert_eq!(mmu.collect_mapped(uc2.root()).len(), 20);
         mmu.destroy_space(&mut mem, uc2);
         store.release_uc(base).unwrap();
+    }
+
+    #[test]
+    fn checksums_verify_until_corrupted() {
+        let (mut mem, mut mmu, mut space) = setup();
+        let mut store = SnapshotStore::new();
+        dirty_n(&mut mmu, &mut mem, &mut space, 4, 0);
+        let a = store
+            .capture(
+                &mut mmu,
+                &mut mem,
+                &mut space,
+                RegisterState::at(VirtAddr::new(0x40), VirtAddr::new(0x80)),
+                SnapshotKind::Runtime,
+                "base",
+                None,
+            )
+            .unwrap();
+        dirty_n(&mut mmu, &mut mem, &mut space, 2, 1);
+        let b = store
+            .capture(
+                &mut mmu,
+                &mut mem,
+                &mut space,
+                RegisterState::default(),
+                SnapshotKind::Function,
+                "f",
+                Some(a),
+            )
+            .unwrap();
+        assert!(store.verify(a).unwrap());
+        assert!(store.verify(b).unwrap());
+        // Checksums depend on the captured state, so siblings differ.
+        assert_ne!(
+            store.get(a).unwrap().checksum(),
+            store.get(b).unwrap().checksum()
+        );
+        store.corrupt(b).unwrap();
+        assert!(!store.verify(b).unwrap(), "corruption must be detected");
+        assert!(store.verify(a).unwrap(), "other snapshots unaffected");
+        // Corruption is involutive through the XOR mask; a second hit
+        // restores the checksum (handy for tests, irrelevant to policy).
+        store.corrupt(b).unwrap();
+        assert!(store.verify(b).unwrap());
+        assert_eq!(store.verify(SnapshotId(99)), Err(SnapshotError::Dangling));
+        assert_eq!(store.corrupt(SnapshotId(99)), Err(SnapshotError::Dangling));
     }
 
     #[test]

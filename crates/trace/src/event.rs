@@ -71,10 +71,33 @@ pub enum TraceEvent {
     ContainerCreate,
     /// Linux: a container was deleted (evicted).
     ContainerDelete,
+    /// Injected: the compute node crashed (caches and in-flight work lost).
+    FaultNodeCrash,
+    /// The crashed node finished rebooting and serves again.
+    FaultNodeRestart,
+    /// Injected: a request's packet was dropped by an active loss window.
+    FaultPacketDrop,
+    /// Injected: transient memory pressure began (`frames` withheld).
+    FaultMemPressure {
+        /// Frames withheld from the pool.
+        frames: u64,
+    },
+    /// Injected: a core started running slow.
+    FaultStraggler,
+    /// Injected: a cached function snapshot failed its integrity check.
+    FaultSnapshotCorrupt,
+    /// The platform retried a faulted request (backoff scheduled).
+    FaultRetry,
+    /// DR-SEUSS rerouted an invocation away from an unhealthy node.
+    FaultFailover,
+    /// The platform shed a request to a degraded path instead of erroring.
+    FaultShed,
 }
 
-/// Number of distinct event kinds (counter-array size).
-pub(crate) const EVENT_KINDS: usize = 19;
+/// Number of distinct event kinds (counter-array size). Fault kinds are
+/// appended after the original 19 so fault-free metrics output stays
+/// byte-identical (the report emits only non-zero counters).
+pub(crate) const EVENT_KINDS: usize = 28;
 
 impl TraceEvent {
     /// Lowercase kind name used in trace output and metrics.
@@ -103,6 +126,15 @@ impl TraceEvent {
             TraceEvent::CoreQueued => "core_queued",
             TraceEvent::ContainerCreate => "container_create",
             TraceEvent::ContainerDelete => "container_delete",
+            TraceEvent::FaultNodeCrash => "fault:node_crash",
+            TraceEvent::FaultNodeRestart => "fault:node_restart",
+            TraceEvent::FaultPacketDrop => "fault:packet_drop",
+            TraceEvent::FaultMemPressure { .. } => "fault:mem_pressure",
+            TraceEvent::FaultStraggler => "fault:straggler",
+            TraceEvent::FaultSnapshotCorrupt => "fault:snapshot_corrupt",
+            TraceEvent::FaultRetry => "fault:retry",
+            TraceEvent::FaultFailover => "fault:failover",
+            TraceEvent::FaultShed => "fault:shed",
         }
     }
 
@@ -122,6 +154,15 @@ impl TraceEvent {
             TraceEvent::CoreQueued => 16,
             TraceEvent::ContainerCreate => 17,
             TraceEvent::ContainerDelete => 18,
+            TraceEvent::FaultNodeCrash => 19,
+            TraceEvent::FaultNodeRestart => 20,
+            TraceEvent::FaultPacketDrop => 21,
+            TraceEvent::FaultMemPressure { .. } => 22,
+            TraceEvent::FaultStraggler => 23,
+            TraceEvent::FaultSnapshotCorrupt => 24,
+            TraceEvent::FaultRetry => 25,
+            TraceEvent::FaultFailover => 26,
+            TraceEvent::FaultShed => 27,
         }
     }
 
@@ -130,6 +171,7 @@ impl TraceEvent {
         match self {
             TraceEvent::SnapshotCapture { dirty_pages } => Some(*dirty_pages),
             TraceEvent::FramesCopied { frames } => Some(*frames),
+            TraceEvent::FaultMemPressure { frames } => Some(*frames),
             _ => None,
         }
     }

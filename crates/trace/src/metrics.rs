@@ -27,6 +27,15 @@ const KIND_NAMES: [&str; EVENT_KINDS] = [
     "core_queued",
     "container_create",
     "container_delete",
+    "fault:node_crash",
+    "fault:node_restart",
+    "fault:packet_drop",
+    "fault:mem_pressure",
+    "fault:straggler",
+    "fault:snapshot_corrupt",
+    "fault:retry",
+    "fault:failover",
+    "fault:shed",
 ];
 
 /// Aggregated metric state inside a tracer buffer.
@@ -314,6 +323,81 @@ mod tests {
             .unwrap();
         assert_eq!(hot.count, 1);
         assert!(hot.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn kind_names_stay_in_lockstep_with_kind_index() {
+        // One representative of every variant; `kind_str` must agree with
+        // the `KIND_NAMES` slot its `kind_index` selects, or merged
+        // reports would mislabel counters.
+        let all = [
+            TraceEvent::PageFault,
+            TraceEvent::CowBreak,
+            TraceEvent::TlbFlush,
+            TraceEvent::SnapshotCapture { dirty_pages: 1 },
+            TraceEvent::SnapshotDeploy,
+            TraceEvent::FramesCopied { frames: 1 },
+            TraceEvent::CacheHit {
+                cache: CacheKind::IdleUc,
+            },
+            TraceEvent::CacheHit {
+                cache: CacheKind::FnSnapshot,
+            },
+            TraceEvent::CacheHit {
+                cache: CacheKind::Container,
+            },
+            TraceEvent::CacheHit {
+                cache: CacheKind::Stemcell,
+            },
+            TraceEvent::CacheMiss {
+                cache: CacheKind::IdleUc,
+            },
+            TraceEvent::CacheMiss {
+                cache: CacheKind::FnSnapshot,
+            },
+            TraceEvent::CacheMiss {
+                cache: CacheKind::Container,
+            },
+            TraceEvent::CacheMiss {
+                cache: CacheKind::Stemcell,
+            },
+            TraceEvent::ShimHop,
+            TraceEvent::Timeout,
+            TraceEvent::CoreQueued,
+            TraceEvent::ContainerCreate,
+            TraceEvent::ContainerDelete,
+            TraceEvent::FaultNodeCrash,
+            TraceEvent::FaultNodeRestart,
+            TraceEvent::FaultPacketDrop,
+            TraceEvent::FaultMemPressure { frames: 1 },
+            TraceEvent::FaultStraggler,
+            TraceEvent::FaultSnapshotCorrupt,
+            TraceEvent::FaultRetry,
+            TraceEvent::FaultFailover,
+            TraceEvent::FaultShed,
+        ];
+        assert_eq!(all.len(), EVENT_KINDS, "a variant is missing here");
+        for (i, ev) in all.iter().enumerate() {
+            assert_eq!(ev.kind_index(), i, "dense index order: {ev:?}");
+            assert_eq!(KIND_NAMES[i], ev.kind_str(), "name mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn fault_events_count_and_carry_magnitude() {
+        let mut m = Metrics::new();
+        m.record_event(&TraceEvent::FaultMemPressure { frames: 512 });
+        m.record_event(&TraceEvent::FaultRetry);
+        m.record_event(&TraceEvent::FaultRetry);
+        let r = m.report();
+        let mp = r
+            .events
+            .iter()
+            .find(|e| e.kind == "fault:mem_pressure")
+            .unwrap();
+        assert_eq!((mp.count, mp.magnitude), (1, 512));
+        let retry = r.events.iter().find(|e| e.kind == "fault:retry").unwrap();
+        assert_eq!(retry.count, 2);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use seuss_baseline::DockerError;
 use seuss_core::{ConfigError, NodeError};
+use seuss_faults::FaultError;
 use seuss_mem::MemError;
 use seuss_net::{BridgeError, ProxyError};
 use seuss_paging::PageFault;
@@ -36,6 +37,9 @@ pub enum Error {
     Bridge(BridgeError),
     /// A NAT proxy failure (ports exhausted, no route).
     Proxy(ProxyError),
+    /// An injected fault surfaced to the caller (crash, drop, pressure,
+    /// corruption, or an exhausted retry budget).
+    FaultInjected(FaultError),
 }
 
 impl Error {
@@ -53,6 +57,18 @@ impl Error {
                 | Error::Fault(PageFault::OutOfMemory(_))
         )
     }
+
+    /// True when the failure is transient: retrying the same operation
+    /// can succeed once the injected condition clears. This is the
+    /// predicate the platform's [`seuss_faults::RetryPolicy`] consults.
+    /// Resource exhaustion (OOM) is *not* transient — retrying without
+    /// reclaim reproduces it — and neither is an exhausted retry budget.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Error::FaultInjected(e) => e.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl core::fmt::Display for Error {
@@ -67,6 +83,7 @@ impl core::fmt::Display for Error {
             Error::Docker(e) => write!(f, "{e}"),
             Error::Bridge(e) => write!(f, "{e}"),
             Error::Proxy(e) => write!(f, "{e}"),
+            Error::FaultInjected(e) => write!(f, "injected fault: {e}"),
         }
     }
 }
@@ -83,6 +100,7 @@ impl std::error::Error for Error {
             Error::Docker(e) => Some(e),
             Error::Bridge(e) => Some(e),
             Error::Proxy(e) => Some(e),
+            Error::FaultInjected(e) => Some(e),
         }
     }
 }
@@ -141,6 +159,12 @@ impl From<ProxyError> for Error {
     }
 }
 
+impl From<FaultError> for Error {
+    fn from(e: FaultError) -> Self {
+        Error::FaultInjected(e)
+    }
+}
+
 /// Workspace-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -174,6 +198,34 @@ mod tests {
     fn display_and_source_delegate() {
         let e = Error::from(ConfigError::ZeroCores);
         assert!(e.to_string().contains("cores"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transience_follows_the_fault_taxonomy() {
+        for fault in [
+            FaultError::NodeCrashed,
+            FaultError::PacketDropped,
+            FaultError::MemoryPressure,
+            FaultError::SnapshotCorrupted,
+        ] {
+            let e = Error::from(fault);
+            assert!(e.is_transient(), "{e} should be transient");
+            assert!(!e.is_out_of_memory());
+        }
+        assert!(!Error::from(FaultError::RetryBudgetExhausted).is_transient());
+        // Non-fault layers never read as transient: retrying an OOM or a
+        // config rejection without intervention reproduces it.
+        assert!(!Error::from(MemError::OutOfFrames).is_transient());
+        assert!(!Error::from(ConfigError::ZeroCores).is_transient());
+        assert!(!Error::from(NodeError::UnknownToken).is_transient());
+    }
+
+    #[test]
+    fn fault_errors_display_and_source() {
+        let e = Error::from(FaultError::SnapshotCorrupted);
+        assert_eq!(e, Error::FaultInjected(FaultError::SnapshotCorrupted));
+        assert!(e.to_string().contains("injected fault"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }
