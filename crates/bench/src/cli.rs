@@ -1,62 +1,95 @@
-//! Tiny argv helpers shared by the bench binaries: every driver accepts
-//! a `--workers N` (or `-j N`) flag selecting how many OS threads the
-//! experiment sweep runs on, falling back to the `SEUSS_EXEC_WORKERS`
-//! environment variable. Worker count is execution speed only — results
-//! are byte-identical at every value (see `seuss-exec`).
+//! Shared argv parsing for the bench binaries.
 //!
-//! Fault-capable drivers additionally accept `--fault-plan <spec>` and
-//! `--fault-seed N` (see [`seuss::faults::spec`] for the spec grammar);
-//! both are stripped from [`positionals`] like the workers flags.
+//! Every driver accepts the same flag family, parsed once into a
+//! [`BenchArgs`] value instead of each binary re-scanning `argv`:
+//!
+//! - `--workers N` / `-j N` — OS threads for the experiment sweep
+//!   (fallback: the `SEUSS_EXEC_WORKERS` environment variable). Worker
+//!   count is execution speed only — results are byte-identical at
+//!   every value (see `seuss-exec`).
+//! - `--fault-plan <spec>` / `--fault-seed N` — fault schedule (see
+//!   [`seuss::faults::spec`] for the grammar).
+//! - `--store <lazy|eager|ws>`, `--store-blocks N`,
+//!   `--store-reclaim <evict|demote>` — snapshot storage tier knobs
+//!   (see `seuss::store`). No `--store` flag means no tier.
+//!
+//! All flags (and their values) are stripped from
+//! [`BenchArgs::positionals`], so the binaries' positional arguments
+//! keep working unchanged. The free functions below are thin wrappers
+//! over one [`BenchArgs::parse`] for binaries that only need one knob.
 
 use seuss::faults::{spec, FaultPlan};
+use seuss::store::{DeviceConfig, ReclaimMode, RestorePolicy, StoreConfig};
 
-/// Parses a worker count out of `args`: `--workers N`, `--workers=N`,
-/// or `-j N`.
-fn parse_workers(args: &[String]) -> Option<usize> {
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--workers" || a == "-j" {
-            return it.next().and_then(|v| v.parse().ok());
-        }
-        if let Some(v) = a.strip_prefix("--workers=") {
-            return v.parse().ok();
-        }
-    }
-    None
+/// Storage-tier flags, already validated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StoreArgs {
+    /// Restore policy from `--store`.
+    pub policy: RestorePolicy,
+    /// Device capacity from `--store-blocks` (default: NVMe's 4 GiB).
+    pub capacity_blocks: u64,
+    /// Reclaim mode from `--store-reclaim` (default: demote-coldest).
+    pub reclaim: ReclaimMode,
 }
 
-/// Parses a `--fault-plan <spec>` or `--fault-plan=<spec>` flag.
-fn parse_fault_spec(args: &[String]) -> Option<String> {
+impl StoreArgs {
+    /// The `SeussConfig`-ready store configuration these flags select.
+    pub fn to_config(self) -> StoreConfig {
+        StoreConfig {
+            device: DeviceConfig {
+                capacity_blocks: self.capacity_blocks,
+                ..DeviceConfig::nvme()
+            },
+            policy: self.policy,
+            reclaim: self.reclaim,
+        }
+    }
+}
+
+/// Every shared bench flag, parsed once.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchArgs {
+    /// Worker-thread count (flag, else env, else the driver's default;
+    /// always at least 1).
+    pub workers: usize,
+    /// Raw `--fault-plan` spec string, if given.
+    pub fault_spec: Option<String>,
+    /// `--fault-seed` value, if given.
+    pub fault_seed: Option<u64>,
+    /// Storage-tier knobs, `None` without a `--store` flag.
+    pub store: Option<StoreArgs>,
+    /// The arguments left over once every flag is stripped.
+    pub positionals: Vec<String>,
+}
+
+/// A flag value: `--flag v` or `--flag=v`.
+fn valued(args: &[String], flag: &str) -> Option<String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--fault-plan" {
+        if a == flag {
             return it.next().cloned();
         }
-        if let Some(v) = a.strip_prefix("--fault-plan=") {
-            return Some(v.to_string());
+        if let Some(v) = a.strip_prefix(flag) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Some(v.to_string());
+            }
         }
     }
     None
 }
 
-/// Parses a `--fault-seed N` or `--fault-seed=N` flag.
-fn parse_fault_seed(args: &[String]) -> Option<u64> {
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--fault-seed" {
-            return it.next().and_then(|v| v.parse().ok());
-        }
-        if let Some(v) = a.strip_prefix("--fault-seed=") {
-            return v.parse().ok();
-        }
-    }
-    None
-}
+/// The flags that take a value — the strip list for positionals.
+const VALUED: &[&str] = &[
+    "--workers",
+    "-j",
+    "--fault-plan",
+    "--fault-seed",
+    "--store",
+    "--store-blocks",
+    "--store-reclaim",
+];
 
-/// `args` with any workers / fault flags (and their values) removed, so
-/// the binaries' existing positional arguments keep working unchanged.
 fn strip_flags(args: &[String]) -> Vec<String> {
-    const VALUED: &[&str] = &["--workers", "-j", "--fault-plan", "--fault-seed"];
     let mut out = Vec::new();
     let mut skip_value = false;
     for a in args {
@@ -79,55 +112,115 @@ fn strip_flags(args: &[String]) -> Vec<String> {
     out
 }
 
-/// The worker-thread count for this invocation: the `--workers` flag if
-/// present, else the [`seuss_exec::WORKERS_ENV`] environment variable,
-/// else `default`. Always at least 1.
-pub fn workers_arg(default: usize) -> usize {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    parse_workers(&args)
-        .or_else(|| {
-            std::env::var(seuss_exec::WORKERS_ENV)
-                .ok()
-                .and_then(|v| v.trim().parse().ok())
-        })
-        .unwrap_or(default)
-        .max(1)
+fn bad_flag(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("invalid {flag} {value:?}: expected {expected}");
+    std::process::exit(2);
 }
 
-/// The positional command-line arguments (workers and fault flags
-/// stripped).
+impl BenchArgs {
+    /// Parses a raw argument list (no program name). Malformed flag
+    /// values print a usage error and exit 2.
+    pub fn from_args(args: &[String], default_workers: usize) -> Self {
+        let workers = match valued(args, "--workers").or_else(|| valued(args, "-j")) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| bad_flag("--workers", &v, "a thread count")),
+            None => std::env::var(seuss_exec::WORKERS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default_workers),
+        };
+        let fault_seed = valued(args, "--fault-seed").map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| bad_flag("--fault-seed", &v, "an integer seed"))
+        });
+        let store = valued(args, "--store").map(|v| {
+            let policy = match v.as_str() {
+                "lazy" => RestorePolicy::LazyPaging,
+                "eager" => RestorePolicy::EagerFull,
+                "ws" => RestorePolicy::WorkingSetPrefetch,
+                _ => bad_flag("--store", &v, "lazy, eager, or ws"),
+            };
+            let capacity_blocks = match valued(args, "--store-blocks") {
+                Some(b) => b
+                    .parse()
+                    .unwrap_or_else(|_| bad_flag("--store-blocks", &b, "a block count")),
+                None => DeviceConfig::nvme().capacity_blocks,
+            };
+            let reclaim = match valued(args, "--store-reclaim").as_deref() {
+                None | Some("demote") => ReclaimMode::DemoteColdest,
+                Some("evict") => ReclaimMode::Evict,
+                Some(r) => bad_flag("--store-reclaim", r, "evict or demote"),
+            };
+            StoreArgs {
+                policy,
+                capacity_blocks,
+                reclaim,
+            }
+        });
+        BenchArgs {
+            workers: workers.max(1),
+            fault_spec: valued(args, "--fault-plan"),
+            fault_seed,
+            store,
+            positionals: strip_flags(args),
+        }
+    }
+
+    /// Parses the process argv.
+    pub fn parse(default_workers: usize) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        BenchArgs::from_args(&args, default_workers)
+    }
+
+    /// The fault schedule: `--fault-plan` compiled under `--fault-seed`
+    /// (default `default_seed`, which should be the trial seed so
+    /// `?`-randomized instants reproduce). No flag means
+    /// [`FaultPlan::none`] — the fault-free fast path. A malformed spec
+    /// prints the parse error and exits 2.
+    pub fn fault_plan(&self, default_seed: u64) -> FaultPlan {
+        let seed = self.fault_seed.unwrap_or(default_seed);
+        match &self.fault_spec {
+            None => FaultPlan::none(),
+            Some(s) => match spec::compile(s, seed) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("invalid --fault-plan {s:?}: {e}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    /// The store configuration the `--store` flags select, if any.
+    pub fn store_config(&self) -> Option<StoreConfig> {
+        self.store.map(StoreArgs::to_config)
+    }
+}
+
+/// The worker-thread count for this invocation (see [`BenchArgs`]).
+pub fn workers_arg(default: usize) -> usize {
+    BenchArgs::parse(default).workers
+}
+
+/// The positional command-line arguments (all shared flags stripped).
 pub fn positionals() -> Vec<String> {
-    strip_flags(&std::env::args().skip(1).collect::<Vec<_>>())
+    BenchArgs::parse(1).positionals
 }
 
 /// The raw `--fault-plan` spec string, if the flag was given.
 pub fn fault_spec_arg() -> Option<String> {
-    parse_fault_spec(&std::env::args().skip(1).collect::<Vec<_>>())
+    BenchArgs::parse(1).fault_spec
 }
 
 /// The `--fault-seed` value, if the flag was given.
 pub fn fault_seed_arg() -> Option<u64> {
-    parse_fault_seed(&std::env::args().skip(1).collect::<Vec<_>>())
+    BenchArgs::parse(1).fault_seed
 }
 
-/// The fault schedule for this invocation: `--fault-plan <spec>`
-/// compiled under `--fault-seed N` (default `default_seed`, which
-/// should be the trial seed so `?`-randomized instants reproduce). No
-/// flag means [`FaultPlan::none`] — the fault-free fast path. A
-/// malformed spec prints the parse error and exits 2.
+/// The compiled fault schedule (see [`BenchArgs::fault_plan`]).
 pub fn fault_plan_arg(default_seed: u64) -> FaultPlan {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let seed = parse_fault_seed(&args).unwrap_or(default_seed);
-    match parse_fault_spec(&args) {
-        None => FaultPlan::none(),
-        Some(s) => match spec::compile(&s, seed) {
-            Ok(plan) => plan,
-            Err(e) => {
-                eprintln!("invalid --fault-plan {s:?}: {e}");
-                std::process::exit(2);
-            }
-        },
-    }
+    BenchArgs::parse(1).fault_plan(default_seed)
 }
 
 #[cfg(test)]
@@ -138,75 +231,116 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::from_args(&v(args), 1)
+    }
+
     #[test]
     fn parses_every_flag_spelling() {
-        assert_eq!(parse_workers(&v(&["--workers", "4"])), Some(4));
-        assert_eq!(parse_workers(&v(&["--workers=8"])), Some(8));
-        assert_eq!(parse_workers(&v(&["-j", "2"])), Some(2));
-        assert_eq!(parse_workers(&v(&["64", "--workers", "3"])), Some(3));
-        assert_eq!(parse_workers(&v(&["64"])), None);
-        assert_eq!(parse_workers(&v(&["--workers"])), None);
-        assert_eq!(parse_workers(&v(&["--workers", "nope"])), None);
+        assert_eq!(parse(&["--workers", "4"]).workers, 4);
+        assert_eq!(parse(&["--workers=8"]).workers, 8);
+        assert_eq!(parse(&["-j", "2"]).workers, 2);
+        assert_eq!(parse(&["64", "--workers", "3"]).workers, 3);
+        assert_eq!(BenchArgs::from_args(&v(&["64"]), 5).workers, 5);
+        assert_eq!(parse(&["--workers", "0"]).workers, 1, "clamped to 1");
     }
 
     #[test]
     fn stripping_preserves_positionals() {
         assert_eq!(
-            strip_flags(&v(&["64", "--workers", "4", "out.csv"])),
+            parse(&["64", "--workers", "4", "out.csv"]).positionals,
             v(&["64", "out.csv"])
         );
-        assert_eq!(strip_flags(&v(&["--workers=4", "64"])), v(&["64"]));
-        assert_eq!(strip_flags(&v(&["-j", "2"])), Vec::<String>::new());
-        assert_eq!(strip_flags(&v(&["a", "b"])), v(&["a", "b"]));
+        assert_eq!(parse(&["--workers=4", "64"]).positionals, v(&["64"]));
+        assert_eq!(parse(&["-j", "2"]).positionals, Vec::<String>::new());
+        assert_eq!(parse(&["a", "b"]).positionals, v(&["a", "b"]));
     }
 
     #[test]
     fn parses_fault_flags_in_every_spelling() {
         assert_eq!(
-            parse_fault_spec(&v(&["--fault-plan", "crash@1s+2s"])),
+            parse(&["--fault-plan", "crash@1s+2s"]).fault_spec,
             Some("crash@1s+2s".to_string())
         );
         assert_eq!(
-            parse_fault_spec(&v(&["64", "--fault-plan=loss@1s+2s:0.5"])),
+            parse(&["64", "--fault-plan=loss@1s+2s:0.5"]).fault_spec,
             Some("loss@1s+2s:0.5".to_string())
         );
-        assert_eq!(parse_fault_spec(&v(&["64"])), None);
-        assert_eq!(parse_fault_spec(&v(&["--fault-plan"])), None);
+        assert_eq!(parse(&["64"]).fault_spec, None);
+        assert_eq!(parse(&["--fault-plan"]).fault_spec, None);
 
-        assert_eq!(parse_fault_seed(&v(&["--fault-seed", "7"])), Some(7));
-        assert_eq!(parse_fault_seed(&v(&["--fault-seed=99"])), Some(99));
-        assert_eq!(parse_fault_seed(&v(&["--fault-seed", "nope"])), None);
-        assert_eq!(parse_fault_seed(&v(&["64"])), None);
+        assert_eq!(parse(&["--fault-seed", "7"]).fault_seed, Some(7));
+        assert_eq!(parse(&["--fault-seed=99"]).fault_seed, Some(99));
+        assert_eq!(parse(&["64"]).fault_seed, None);
     }
 
     #[test]
     fn stripping_removes_fault_flags_and_keeps_positionals() {
         assert_eq!(
-            strip_flags(&v(&[
+            parse(&[
                 "64",
                 "--fault-plan",
                 "crash@1s+2s",
                 "out.csv",
                 "--fault-seed=7",
-            ])),
+            ])
+            .positionals,
             v(&["64", "out.csv"])
         );
         assert_eq!(
-            strip_flags(&v(&["--fault-plan=crash@1s+2s", "--fault-seed", "7"])),
+            parse(&["--fault-plan=crash@1s+2s", "--fault-seed", "7"]).positionals,
             Vec::<String>::new()
         );
         // A flag-like positional that merely shares a prefix survives.
         assert_eq!(
-            strip_flags(&v(&["--fault-planner", "x"])),
+            parse(&["--fault-planner", "x"]).positionals,
             v(&["--fault-planner", "x"])
         );
     }
 
     #[test]
     fn fault_spec_and_seed_compose_with_workers_flags() {
-        let args = v(&["8", "--workers", "4", "--fault-plan=crash@1s+2s", "f.csv"]);
-        assert_eq!(parse_workers(&args), Some(4));
-        assert_eq!(parse_fault_spec(&args), Some("crash@1s+2s".to_string()));
-        assert_eq!(strip_flags(&args), v(&["8", "f.csv"]));
+        let a = parse(&["8", "--workers", "4", "--fault-plan=crash@1s+2s", "f.csv"]);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.fault_spec, Some("crash@1s+2s".to_string()));
+        assert_eq!(a.positionals, v(&["8", "f.csv"]));
+    }
+
+    #[test]
+    fn store_flags_build_a_config() {
+        assert_eq!(parse(&["64"]).store, None);
+        assert_eq!(parse(&["64"]).store_config(), None);
+
+        let a = parse(&["--store", "ws", "--store-blocks=4096", "64"]);
+        let s = a.store.expect("store args");
+        assert_eq!(s.policy, RestorePolicy::WorkingSetPrefetch);
+        assert_eq!(s.capacity_blocks, 4096);
+        assert_eq!(s.reclaim, ReclaimMode::DemoteColdest, "demote by default");
+        let cfg = a.store_config().expect("config");
+        assert_eq!(cfg.device.capacity_blocks, 4096);
+        assert_eq!(
+            cfg.device.read_latency,
+            seuss::store::DeviceConfig::nvme().read_latency,
+            "cost model stays NVMe"
+        );
+        assert_eq!(a.positionals, v(&["64"]));
+
+        let b = parse(&["--store=lazy", "--store-reclaim", "evict"]);
+        let s = b.store.expect("store args");
+        assert_eq!(s.policy, RestorePolicy::LazyPaging);
+        assert_eq!(s.reclaim, ReclaimMode::Evict);
+        assert_eq!(
+            s.capacity_blocks,
+            seuss::store::DeviceConfig::nvme().capacity_blocks
+        );
+        assert_eq!(b.positionals, Vec::<String>::new());
+    }
+
+    #[test]
+    fn store_knobs_without_store_flag_are_ignored() {
+        // `--store-blocks` alone selects no tier, but is still stripped.
+        let a = parse(&["--store-blocks", "512", "8"]);
+        assert_eq!(a.store, None);
+        assert_eq!(a.positionals, v(&["8"]));
     }
 }

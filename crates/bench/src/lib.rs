@@ -34,6 +34,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod figburst;
 pub mod figfault;
+pub mod figtier;
 pub mod render;
 pub mod table1;
 pub mod table2;
@@ -41,11 +42,12 @@ pub mod table3;
 pub mod timing;
 pub mod traced;
 
-pub use cli::{fault_plan_arg, positionals, workers_arg};
+pub use cli::{fault_plan_arg, positionals, workers_arg, BenchArgs, StoreArgs};
 pub use fig4::{run_fig4, Fig4Point};
 pub use fig5::{run_fig5, Fig5Row};
 pub use figburst::{run_burst, run_burst_with_faults, BurstOutcome};
 pub use figfault::{availability_csv, default_fault_spec, run_figfault, FaultOutcome};
+pub use figtier::{run_figtier, tier_csv, TierOutcome, TierParams};
 pub use render::{ratio, Table};
 pub use table1::{run_table1, Table1Results};
 pub use table2::{run_table2, Table2Results};

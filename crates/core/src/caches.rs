@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use seuss_mem::PhysMemory;
 use seuss_paging::Mmu;
-use seuss_snapshot::SnapshotStore;
+use seuss_snapshot::{SnapshotId, SnapshotStore};
 use seuss_unikernel::{ImageStore, UcContext, UcImageId};
 
 use crate::node::FnId;
@@ -83,6 +83,9 @@ impl FnImageCache {
     }
 
     /// Inserts a function image, evicting LRU deletable images as needed.
+    /// Returns the snapshot ids of every image actually deleted in the
+    /// process (evicted for capacity, or displaced by the new entry) —
+    /// the caller's cue to drop any storage-tier state they held.
     pub fn insert(
         &mut self,
         mmu: &mut Mmu,
@@ -91,11 +94,13 @@ impl FnImageCache {
         images: &mut ImageStore,
         f: FnId,
         img: UcImageId,
-    ) {
+    ) -> Vec<SnapshotId> {
         self.clock += 1;
+        let mut deleted = Vec::new();
         while self.entries.len() >= self.capacity {
-            if !self.evict_one(mmu, mem, snaps, images) {
-                break;
+            match self.evict_one(mmu, mem, snaps, images) {
+                Some(sid) => deleted.extend(sid),
+                None => break,
             }
         }
         let seq = self.next_seq;
@@ -108,20 +113,26 @@ impl FnImageCache {
                 seq,
             },
         ) {
-            let _ = images.delete(mmu, mem, snaps, old.img);
+            let sid = images.snapshot_of(old.img).ok();
+            if images.delete(mmu, mem, snaps, old.img).is_ok() {
+                deleted.extend(sid);
+            }
         }
+        deleted
     }
 
     /// Evicts the least-recently-used deletable image (used directly by
-    /// the OOM daemon under memory pressure). Returns whether anything
-    /// was evicted.
+    /// the OOM daemon under memory pressure). `None` means nothing was
+    /// evictable; `Some(sid)` carries the deleted image's snapshot id
+    /// when the deletion went through (so the caller can release any
+    /// storage-tier blocks it held).
     pub fn evict_lru(
         &mut self,
         mmu: &mut Mmu,
         mem: &mut PhysMemory,
         snaps: &mut SnapshotStore,
         images: &mut ImageStore,
-    ) -> bool {
+    ) -> Option<Option<SnapshotId>> {
         self.evict_one(mmu, mem, snaps, images)
     }
 
@@ -131,7 +142,7 @@ impl FnImageCache {
         mem: &mut PhysMemory,
         snaps: &mut SnapshotStore,
         images: &mut ImageStore,
-    ) -> bool {
+    ) -> Option<Option<SnapshotId>> {
         let mut candidates: Vec<(FnId, (u64, u64), UcImageId)> = self
             .entries
             .iter()
@@ -148,13 +159,20 @@ impl FnImageCache {
         // Last-use first, then insertion sequence: the tie-break makes the
         // victim independent of `HashMap` iteration order.
         candidates.sort_by_key(|&(_, key, _)| key);
-        let Some(&(f, _, img)) = candidates.first() else {
-            return false;
-        };
+        let &(f, _, img) = candidates.first()?;
         self.entries.remove(&f);
         self.evictions += 1;
-        let _ = images.delete(mmu, mem, snaps, img);
-        true
+        let sid = images.snapshot_of(img).ok();
+        match images.delete(mmu, mem, snaps, img) {
+            Ok(()) => Some(sid),
+            Err(_) => Some(None),
+        }
+    }
+
+    /// All cached images, in no particular order (callers needing a
+    /// deterministic choice must impose their own total order).
+    pub fn iter_images(&self) -> impl Iterator<Item = UcImageId> + '_ {
+        self.entries.values().map(|e| e.img)
     }
 
     /// Removes and returns a specific entry without deleting its image.
@@ -341,11 +359,15 @@ mod tests {
         for f in [10u64, 20, 30] {
             cache.force_last_use(f, 7);
         }
-        assert!(cache.evict_lru(&mut mmu, &mut mem, &mut snaps, &mut images));
+        assert!(cache
+            .evict_lru(&mut mmu, &mut mem, &mut snaps, &mut images)
+            .is_some());
         assert!(cache.peek(10).is_none(), "earliest insertion evicted first");
         assert!(cache.peek(20).is_some());
         assert!(cache.peek(30).is_some());
-        assert!(cache.evict_lru(&mut mmu, &mut mem, &mut snaps, &mut images));
+        assert!(cache
+            .evict_lru(&mut mmu, &mut mem, &mut snaps, &mut images)
+            .is_some());
         assert!(cache.peek(20).is_none(), "then the next-earliest");
         assert!(cache.peek(30).is_some());
     }

@@ -7,6 +7,7 @@
 //! config is coherent.
 
 use miniscript::RuntimeProfile;
+use seuss_store::StoreConfig;
 use seuss_unikernel::{Layout, RuntimeKind, UcProfile};
 use simcore::SimDuration;
 
@@ -55,6 +56,9 @@ pub struct SeussConfig {
     /// knob: artifacts are byte-identical for every value (see
     /// `seuss-exec`). Must be at least 1.
     pub exec_workers: usize,
+    /// Storage tier for demoted snapshots (`None` = all-DRAM node; the
+    /// pre-tier behavior, byte-identical artifacts).
+    pub store: Option<StoreConfig>,
 }
 
 /// A rejected [`SeussConfigBuilder::build`].
@@ -84,6 +88,12 @@ pub enum ConfigError {
     ZeroReclaimThreshold,
     /// The trial executor needs at least one worker thread.
     ZeroExecWorkers,
+    /// A storage tier was configured with a zero-block device.
+    ZeroDeviceCapacity,
+    /// A storage-tier device with zero bandwidth and zero latency would
+    /// make demoted restores free, hiding the tier from every measured
+    /// path; give the device a cost.
+    FreeDevice,
 }
 
 impl core::fmt::Display for ConfigError {
@@ -109,6 +119,12 @@ impl core::fmt::Display for ConfigError {
             }
             ConfigError::ZeroExecWorkers => {
                 write!(f, "config: exec_workers must be >= 1")
+            }
+            ConfigError::ZeroDeviceCapacity => {
+                write!(f, "config: store device needs at least one block")
+            }
+            ConfigError::FreeDevice => {
+                write!(f, "config: store device must cost something to read")
             }
         }
     }
@@ -189,6 +205,12 @@ impl SeussConfigBuilder {
         self
     }
 
+    /// Storage tier for demoted snapshots (`None` disables tiering).
+    pub fn store(mut self, store: Option<StoreConfig>) -> Self {
+        self.cfg.store = store;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<SeussConfig, ConfigError> {
         let c = self.cfg;
@@ -224,6 +246,14 @@ impl SeussConfigBuilder {
         if c.exec_workers == 0 {
             return Err(ConfigError::ZeroExecWorkers);
         }
+        if let Some(store) = &c.store {
+            if store.device.capacity_blocks == 0 {
+                return Err(ConfigError::ZeroDeviceCapacity);
+            }
+            if store.device.read_latency == SimDuration::ZERO && store.device.nanos_per_kib == 0 {
+                return Err(ConfigError::FreeDevice);
+            }
+        }
         Ok(c)
     }
 }
@@ -245,6 +275,7 @@ impl SeussConfig {
                 idle_total: 4096,
                 reclaim_threshold_frames: None,
                 exec_workers: 1,
+                store: None,
             },
         }
     }
@@ -363,6 +394,37 @@ mod tests {
             SeussConfig::builder().exec_workers(0).build().unwrap_err(),
             ConfigError::ZeroExecWorkers
         );
+        let mut store = seuss_store::StoreConfig::nvme_prefetch();
+        store.device.capacity_blocks = 0;
+        assert_eq!(
+            SeussConfig::builder()
+                .store(Some(store))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroDeviceCapacity
+        );
+        let mut free = seuss_store::StoreConfig::nvme_prefetch();
+        free.device.read_latency = SimDuration::ZERO;
+        free.device.nanos_per_kib = 0;
+        assert_eq!(
+            SeussConfig::builder()
+                .store(Some(free))
+                .build()
+                .unwrap_err(),
+            ConfigError::FreeDevice
+        );
+    }
+
+    #[test]
+    fn store_defaults_off_and_round_trips() {
+        assert!(SeussConfig::paper_node().store.is_none());
+        let c = SeussConfig::test_builder()
+            .store(Some(seuss_store::StoreConfig::nvme_prefetch()))
+            .build()
+            .unwrap();
+        assert_eq!(c.store, Some(seuss_store::StoreConfig::nvme_prefetch()));
+        let c2 = c.to_builder().build().unwrap();
+        assert_eq!(c2.store, c.store);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use std::collections::HashMap;
 use seuss_mem::PhysMemory;
 use seuss_net::{NetProxy, UcEndpoint};
 use seuss_paging::Mmu;
-use seuss_snapshot::{SnapshotKind, SnapshotStore};
+use seuss_snapshot::{SnapshotId, SnapshotKind, SnapshotStore};
+use seuss_store::{ReclaimMode, RestorePolicy, StoreError, TieredStore};
 use seuss_trace::{CacheKind, Phase, SpanName, TraceEvent, Tracer};
 use seuss_unikernel::{ImageStore, InvocationOutcome, RuntimeKind, UcContext, UcError, UcImageId};
 use simcore::SimDuration;
@@ -31,6 +32,9 @@ pub type FnId = u64;
 pub struct PathCosts {
     /// UC construction (shallow clone, kmeta, resume writes, fixed part).
     pub deploy: SimDuration,
+    /// Storage-tier restore work (eager promotion or working-set
+    /// prefetch); zero on untiered paths.
+    pub restore: SimDuration,
     /// Connection setup into the UC (plus any first-use warming).
     pub connect: SimDuration,
     /// Code import + compile.
@@ -48,6 +52,7 @@ impl PathCosts {
     pub fn get(&self, phase: Phase) -> SimDuration {
         match phase {
             Phase::Deploy => self.deploy,
+            Phase::Restore => self.restore,
             Phase::Connect => self.connect,
             Phase::Import => self.import,
             Phase::Capture => self.capture,
@@ -60,6 +65,7 @@ impl PathCosts {
     pub fn set(&mut self, phase: Phase, d: SimDuration) {
         match phase {
             Phase::Deploy => self.deploy = d,
+            Phase::Restore => self.restore = d,
             Phase::Connect => self.connect = d,
             Phase::Import => self.import = d,
             Phase::Capture => self.capture = d,
@@ -148,6 +154,8 @@ pub struct NodeStats {
     pub warm: u64,
     /// Hot invocations served.
     pub hot: u64,
+    /// Warm invocations restored from the storage tier.
+    pub warm_tier: u64,
     /// Invocations that failed.
     pub errors: u64,
     /// Idle UCs reclaimed by the OOM daemon.
@@ -177,6 +185,12 @@ pub struct SeussNode {
     pub proxy: NetProxy,
     /// Tracing handle (disabled by default; see [`SeussNode::set_tracer`]).
     pub tracer: Tracer,
+    /// The storage tier, when `SeussConfig::store` asks for one. `None`
+    /// keeps every snapshot in DRAM — the pre-tier behavior, bit for bit.
+    pub tier: Option<TieredStore>,
+    /// Device time of OOM-daemon demotions, drained into the next
+    /// deploy's cost (pressure work bills the request that triggers it).
+    pending_demote_cost: SimDuration,
     config: SeussConfig,
     runtime_images: HashMap<RuntimeKind, UcImageId>,
     primary_runtime: RuntimeKind,
@@ -282,6 +296,13 @@ impl SeussNode {
             init_cost += cost;
         }
 
+        // The storage tier and its pager come up after runtime init: the
+        // base snapshots are captured all-DRAM either way.
+        let tier = config.store.map(TieredStore::new);
+        if let Some(t) = &tier {
+            mmu.pager = Some(t.make_pager());
+        }
+
         let node = SeussNode {
             mem,
             mmu,
@@ -293,6 +314,8 @@ impl SeussNode {
             stats: NodeStats::default(),
             proxy: NetProxy::new(),
             tracer: Tracer::disabled(),
+            tier,
+            pending_demote_cost: SimDuration::ZERO,
             config,
             runtime_images,
             primary_runtime,
@@ -340,9 +363,12 @@ impl SeussNode {
     }
 
     /// Runs the OOM daemon: reclaim idle UCs while free memory is below
-    /// the threshold; once no idle UC remains, evict LRU function
-    /// snapshots (the §6 policy permits deleting function-specific
-    /// snapshots with no active UCs). Returns reclaim actions taken.
+    /// the threshold; then, with a [`ReclaimMode::DemoteColdest`] tier,
+    /// demote the least-recently-deployed function snapshot to the device
+    /// (pressure degrades hot → warm-from-SSD, not warm → cold); once
+    /// nothing is demotable, evict LRU function snapshots outright (the
+    /// §6 policy permits deleting function-specific snapshots with no
+    /// active UCs). Returns reclaim actions taken.
     pub fn run_oom_daemon(&mut self) -> u64 {
         let mut n = 0;
         while self.mem.below_reclaim_threshold() {
@@ -351,12 +377,19 @@ impl SeussNode {
                 n += 1;
                 continue;
             }
-            if self.fn_cache.evict_lru(
+            if self.try_demote_coldest() {
+                n += 1;
+                continue;
+            }
+            if let Some(sid) = self.fn_cache.evict_lru(
                 &mut self.mmu,
                 &mut self.mem,
                 &mut self.snaps,
                 &mut self.images,
             ) {
+                if let Some(sid) = sid {
+                    self.forget_tier(sid);
+                }
                 n += 1;
                 continue;
             }
@@ -364,6 +397,69 @@ impl SeussNode {
         }
         self.stats.oom_reclaims += n;
         n
+    }
+
+    /// One DemoteColdest reclaim step: pick the least-recently-deployed
+    /// resident, idle, childless function snapshot and demote its diff to
+    /// the device. The batched write cost accrues to the next deploy.
+    fn try_demote_coldest(&mut self) -> bool {
+        let Some(tier) = self.tier.as_ref() else {
+            return false;
+        };
+        if tier.reclaim_mode() != ReclaimMode::DemoteColdest {
+            return false;
+        }
+        let candidates: Vec<SnapshotId> = self
+            .fn_cache
+            .iter_images()
+            .filter_map(|img| self.images.snapshot_of(img).ok())
+            .filter(|&s| !tier.is_demoted(s))
+            .filter(|&s| {
+                self.snaps
+                    .get(s)
+                    .map(|sn| sn.active_ucs() == 0 && sn.children() == 0)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut remaining = candidates;
+        while let Some(victim) = self
+            .tier
+            .as_ref()
+            .and_then(|t| t.coldest(remaining.iter().copied()))
+        {
+            remaining.retain(|&s| s != victim);
+            let tier = self.tier.as_mut().expect("checked above");
+            match tier.demote(&mut self.mmu, &mut self.mem, &self.snaps, victim) {
+                Ok(out) => {
+                    self.tracer
+                        .event(TraceEvent::TierDemote { pages: out.pages });
+                    self.pending_demote_cost += out.cost;
+                    return true;
+                }
+                // Ineligible (e.g. an empty diff) — try the next-coldest.
+                Err(_) => continue,
+            }
+        }
+        false
+    }
+
+    /// Drops any storage-tier state held for a deleted snapshot.
+    fn forget_tier(&mut self, sid: SnapshotId) {
+        if let Some(t) = self.tier.as_mut() {
+            t.forget(sid);
+        }
+    }
+
+    /// Arms or clears the simulated device read-error window on the
+    /// storage tier. Returns whether a tier exists to fault.
+    pub fn set_device_read_fault(&mut self, active: bool) -> bool {
+        match &self.tier {
+            Some(t) => {
+                t.set_read_fault(active);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Serves one invocation of function `f` (source `src`, arguments
@@ -404,26 +500,54 @@ impl SeussNode {
             cache: CacheKind::IdleUc,
         });
 
-        // Warm path: deploy from the cached function image — unless the
-        // cached snapshot fails its integrity check, in which case the
-        // damaged image is discarded and the invocation degrades to the
-        // cold path, whose re-capture repairs the cache.
+        // Warm path: deploy from the cached function image. A snapshot
+        // whose diff lives on the storage tier takes the warm-from-tier
+        // variant instead. Either degrades to the cold path — whose
+        // re-capture repairs the cache — when the cached snapshot fails
+        // its integrity check or its device blocks are unreadable.
         if let Some(img) = self.fn_cache.lookup(f) {
-            if self.snapshot_intact(img) {
+            let sid = self.images.snapshot_of(img).ok();
+            let demoted_sid = match (&self.tier, sid) {
+                (Some(t), Some(s)) if t.is_demoted(s) => Some(s),
+                _ => None,
+            };
+            let device_faulted =
+                demoted_sid.is_some() && self.tier.as_ref().is_some_and(|t| t.read_fault_active());
+            if self.snapshot_intact(img) && !device_faulted {
                 self.tracer.event(TraceEvent::CacheHit {
                     cache: CacheKind::FnSnapshot,
                 });
+                if let Some(s) = demoted_sid {
+                    span.annotate_path(PathKind::WarmTier);
+                    let mut uc = self.deploy_tiered(img, s, &mut costs)?;
+                    self.connect_uc(&mut uc, &mut costs)?;
+                    let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
+                    return self.conclude(f, PathKind::WarmTier, uc, exec, costs, ops_before);
+                }
                 span.annotate_path(PathKind::Warm);
                 let mut uc = self.deploy_uc(img, &mut costs)?;
                 self.connect_uc(&mut uc, &mut costs)?;
                 let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
                 return self.conclude(f, PathKind::Warm, uc, exec, costs, ops_before);
             }
-            self.tracer.event(TraceEvent::FaultSnapshotCorrupt);
+            if device_faulted {
+                self.tracer.event(TraceEvent::TierReadError);
+            } else {
+                self.tracer.event(TraceEvent::FaultSnapshotCorrupt);
+            }
+            // Discard the unusable image; tier blocks are released only
+            // once the snapshot itself is gone (a still-deployed UC may
+            // yet page against them).
             if let Some(bad) = self.fn_cache.remove(f) {
-                let _ = self
+                if self
                     .images
-                    .delete(&mut self.mmu, &mut self.mem, &mut self.snaps, bad);
+                    .delete(&mut self.mmu, &mut self.mem, &mut self.snaps, bad)
+                    .is_ok()
+                {
+                    if let Some(s) = sid {
+                        self.forget_tier(s);
+                    }
+                }
             }
         }
         self.tracer.event(TraceEvent::CacheMiss {
@@ -468,7 +592,7 @@ impl SeussNode {
                 .map_err(map_uc_err)?;
             costs.capture = capture_cost;
             self.tracer.advance(costs.capture);
-            self.fn_cache.insert(
+            let displaced = self.fn_cache.insert(
                 &mut self.mmu,
                 &mut self.mem,
                 &mut self.snaps,
@@ -476,6 +600,14 @@ impl SeussNode {
                 f,
                 fn_img,
             );
+            for sid in displaced {
+                self.forget_tier(sid);
+            }
+            if let Some(tier) = self.tier.as_mut() {
+                if let Ok(sid) = self.images.snapshot_of(fn_img) {
+                    tier.note_use(sid);
+                }
+            }
         }
         let exec = self.run_segment_fresh(&mut uc, args, &mut costs)?;
         self.conclude(f, PathKind::Cold, uc, exec, costs, ops_before)
@@ -501,13 +633,111 @@ impl SeussNode {
             .images
             .deploy(&mut self.mmu, &mut self.mem, &mut self.snaps, img)
             .map_err(map_uc_err)?;
+        self.finish_deploy(img, uc, mech_cost, costs)
+    }
+
+    /// Shared deploy epilogue: proxy port, LRU bump, pressure-work drain,
+    /// cost booking.
+    fn finish_deploy(
+        &mut self,
+        img: UcImageId,
+        uc: UcContext,
+        mech_cost: SimDuration,
+        costs: &mut PathCosts,
+    ) -> Result<UcContext, NodeError> {
         // Every UC gets a unique proxy port (identical IP/MAC otherwise).
         let _ = self.proxy.register(UcEndpoint {
             core: (uc.uc_id % self.config.cores as u32) as u16,
             uc: uc.uc_id,
         });
-        costs.deploy = mech_cost + self.cost.uc_construct_fixed;
+        if let Some(tier) = self.tier.as_mut() {
+            if let Ok(sid) = self.images.snapshot_of(img) {
+                tier.note_use(sid);
+            }
+        }
+        // OOM-daemon demotions bill the deploy that triggered them.
+        let demote_cost = std::mem::take(&mut self.pending_demote_cost);
+        costs.deploy = mech_cost + self.cost.uc_construct_fixed + demote_cost;
         self.tracer.advance(costs.deploy);
+        Ok(uc)
+    }
+
+    /// Deploys from a function image whose snapshot diff lives on the
+    /// storage tier — the warm-from-tier path. The restore policy decides
+    /// the device work: eager promotion before the deploy, a recorded
+    /// working-set prefetch into the UC's fresh root mid-deploy, or
+    /// nothing up front (lazy — every later touch pages in one-by-one
+    /// through the MMU's pager).
+    fn deploy_tiered(
+        &mut self,
+        img: UcImageId,
+        sid: SnapshotId,
+        costs: &mut PathCosts,
+    ) -> Result<UcContext, NodeError> {
+        let policy = self
+            .tier
+            .as_ref()
+            .expect("tiered deploy needs a tier")
+            .policy();
+        if policy == RestorePolicy::EagerFull {
+            let out = {
+                let _span = self.tracer.span(SpanName::Phase(Phase::Restore));
+                let out = self
+                    .tier
+                    .as_mut()
+                    .expect("checked")
+                    .promote(&mut self.mmu, &mut self.mem, &self.snaps, sid)
+                    .map_err(map_store_err)?;
+                self.tracer
+                    .event(TraceEvent::TierPromote { pages: out.pages });
+                self.tracer.advance(out.cost);
+                out
+            };
+            costs.restore += out.cost;
+            // Fully resident again — the rest is a plain warm deploy.
+            return self.deploy_uc(img, costs);
+        }
+
+        // Lazy and prefetch deploys run against the still-demoted
+        // snapshot (that is what preserves cache density).
+        let want_prefetch = policy == RestorePolicy::WorkingSetPrefetch
+            && self
+                .tier
+                .as_ref()
+                .is_some_and(|t| t.working_set(sid).is_some());
+        let mut prefetched = None;
+        let uc = {
+            let _span = self.tracer.span(SpanName::Phase(Phase::Deploy));
+            self.run_oom_daemon();
+            let tier = self.tier.as_mut().expect("checked");
+            let out_slot = &mut prefetched;
+            let (uc, mech_cost) = self
+                .images
+                .deploy_prepared(
+                    &mut self.mmu,
+                    &mut self.mem,
+                    &mut self.snaps,
+                    img,
+                    |mmu, mem, root| {
+                        if want_prefetch {
+                            let out = tier
+                                .prefetch_into(mmu, mem, root, sid)
+                                .map_err(|_| UcError::BadState("working-set prefetch failed"))?;
+                            *out_slot = Some(out);
+                        }
+                        Ok(())
+                    },
+                )
+                .map_err(map_uc_err)?;
+            self.finish_deploy(img, uc, mech_cost, costs)?
+        };
+        if let Some(out) = prefetched {
+            let _span = self.tracer.span(SpanName::Phase(Phase::Restore));
+            self.tracer
+                .event(TraceEvent::TierPrefetch { pages: out.pages });
+            costs.restore += out.cost;
+            self.tracer.advance(out.cost);
+        }
         Ok(uc)
     }
 
@@ -542,6 +772,20 @@ impl SeussNode {
         mut costs: PathCosts,
         ops_before: seuss_paging::OpStats,
     ) -> Result<Invocation, NodeError> {
+        // Device time of lazy page-ins this segment performed (zero on
+        // every untiered run) bills the restore phase, whichever phase
+        // the faults actually landed in.
+        let swap_nanos = self
+            .mmu
+            .stats
+            .swap_in_nanos
+            .saturating_sub(ops_before.swap_in_nanos);
+        if swap_nanos > 0 {
+            let _span = self.tracer.span(SpanName::Phase(Phase::Restore));
+            let d = SimDuration::from_nanos(swap_nanos);
+            costs.restore += d;
+            self.tracer.advance(d);
+        }
         match outcome {
             InvocationOutcome::Completed { result } => {
                 {
@@ -549,11 +793,24 @@ impl SeussNode {
                     costs.respond = self.cost.respond;
                     self.tracer.advance(costs.respond);
                 }
+                // REAP-style recording: the first completed run off a
+                // freshly demoted snapshot harvests the pages it touched
+                // (hardware accessed bits) as the restore working set.
+                if let Some(sid) = uc.source_snapshot {
+                    if self.tier.as_ref().is_some_and(|t| t.needs_recording(sid)) {
+                        let accessed = self.mmu.harvest_and_clear_accessed(uc.space.root());
+                        self.tier
+                            .as_mut()
+                            .expect("checked")
+                            .record_working_set(sid, &accessed);
+                    }
+                }
                 self.tracer.record_segment(path, costs.phases());
                 match path {
                     PathKind::Cold => self.stats.cold += 1,
                     PathKind::Warm => self.stats.warm += 1,
                     PathKind::Hot => self.stats.hot += 1,
+                    PathKind::WarmTier => self.stats.warm_tier += 1,
                 }
                 let private_pages = self.mmu.stats.since(&ops_before).pages_copied();
                 // Cache the UC for future hot starts; destroy any displaced.
@@ -677,16 +934,26 @@ impl SeussNode {
             self.destroy_uc(uc);
             lost += 1;
         }
-        while self.fn_cache.evict_lru(
+        while let Some(sid) = self.fn_cache.evict_lru(
             &mut self.mmu,
             &mut self.mem,
             &mut self.snaps,
             &mut self.images,
         ) {
+            if let Some(sid) = sid {
+                self.forget_tier(sid);
+            }
             lost += 1;
         }
         self.tracer.event(TraceEvent::FaultNodeCrash);
         lost
+    }
+}
+
+fn map_store_err(e: StoreError) -> NodeError {
+    match e {
+        StoreError::Mem(_) => NodeError::OutOfMemory,
+        other => NodeError::Function(other.to_string()),
     }
 }
 

@@ -43,6 +43,14 @@ pub enum FaultKind {
         /// Function whose cached snapshot is damaged.
         fn_id: u64,
     },
+    /// The snapshot-tier block device fails every read until the window
+    /// closes. Deploys of demoted snapshots detect the unreadable blocks
+    /// and degrade to the cold path, whose re-capture repairs the cache.
+    /// A no-op on nodes without a storage tier.
+    DeviceReadError {
+        /// Window length.
+        span: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -51,7 +59,8 @@ impl FaultKind {
         match *self {
             FaultKind::PacketLoss { span, .. }
             | FaultKind::MemPressure { span, .. }
-            | FaultKind::StragglerCore { span, .. } => Some(span),
+            | FaultKind::StragglerCore { span, .. }
+            | FaultKind::DeviceReadError { span } => Some(span),
             FaultKind::NodeCrash { .. } | FaultKind::SnapshotCorruption { .. } => None,
         }
     }

@@ -9,6 +9,7 @@
 //! | `mem@T+S:F` | memory pressure at `T`, span `S`, `F` frames withheld |
 //! | `straggler@T+S:CxF` | core `C` slowed by factor `F` at `T`, span `S` |
 //! | `corrupt@T:FN` | snapshot of function `FN` corrupted at `T` |
+//! | `devread@T+S` | snapshot-tier device reads fail at `T`, span `S` |
 //!
 //! Durations are integers with a unit suffix (`ns`, `us`, `ms`, `s`).
 //! An instant `T` may instead be `?D` — uniform random in `[0, D)`,
@@ -145,6 +146,18 @@ pub fn compile(spec: &str, seed: u64) -> Result<FaultPlan, SpecError> {
                 events.push(FaultEvent { at, kind });
                 continue;
             }
+            "devread" => {
+                let (at, span) = rest
+                    .split_once('+')
+                    .ok_or_else(|| err(entry, "devread needs `@T+span`"))?;
+                let at = parse_instant(at, &mut rng, entry)?;
+                let span = parse_duration(span).ok_or_else(|| err(entry, "bad span"))?;
+                events.push(FaultEvent {
+                    at,
+                    kind: FaultKind::DeviceReadError { span },
+                });
+                continue;
+            }
             "corrupt" => {
                 let (at, fn_id) = rest
                     .split_once(':')
@@ -176,11 +189,11 @@ mod tests {
     #[test]
     fn full_grammar_round_trip() {
         let p = compile(
-            "crash@10s+500ms, loss@5s+3s:0.3, mem@8s+2s:4096, straggler@4s+10s:3x2.5, corrupt@6s:17",
+            "crash@10s+500ms, loss@5s+3s:0.3, mem@8s+2s:4096, straggler@4s+10s:3x2.5, corrupt@6s:17, devread@7s+2s",
             42,
         )
         .unwrap();
-        assert_eq!(p.len(), 5);
+        assert_eq!(p.len(), 6);
         let kinds: Vec<_> = p.events().iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&FaultKind::NodeCrash {
             reboot: SimDuration::from_millis(500)
@@ -199,6 +212,9 @@ mod tests {
             span: SimDuration::from_secs(10)
         }));
         assert!(kinds.contains(&FaultKind::SnapshotCorruption { fn_id: 17 }));
+        assert!(kinds.contains(&FaultKind::DeviceReadError {
+            span: SimDuration::from_secs(2)
+        }));
         // Sorted by instant.
         let instants: Vec<_> = p.events().iter().map(|e| e.at).collect();
         let mut sorted = instants.clone();
@@ -228,6 +244,7 @@ mod tests {
             "straggler@1s+1s:3",     // missing factor
             "straggler@1s+1s:3x0.5", // factor < 1
             "corrupt@5s",            // missing fn id
+            "devread@5s",            // missing span
             "flood@1s+1s:9",         // unknown kind
             "crash@?0s+1ms",         // empty random bound
             "crash@10+1ms",          // missing unit

@@ -30,6 +30,13 @@ impl EntryFlags {
     pub const COW: EntryFlags = EntryFlags(1 << 9);
     /// Software bit: the entry points at a next-level table, not a page.
     pub const TABLE: EntryFlags = EntryFlags(1 << 10);
+    /// Software bit: the page lives on a block device, not in a frame.
+    ///
+    /// A swapped entry is *non-present* (PRESENT clear) — hardware would
+    /// fault on it — and its target bits carry a device block number
+    /// instead of a frame index. The remaining flag bits preserve the
+    /// page's pre-demotion permissions so a swap-in can restore them.
+    pub const SWAPPED: EntryFlags = EntryFlags(1 << 11);
 
     /// The empty flag set.
     pub const fn empty() -> Self {
@@ -75,6 +82,7 @@ impl fmt::Debug for EntryFlags {
             (EntryFlags::DIRTY, "D"),
             (EntryFlags::COW, "C"),
             (EntryFlags::TABLE, "T"),
+            (EntryFlags::SWAPPED, "S"),
         ] {
             if self.contains(bit) {
                 parts.push(name);
@@ -112,9 +120,46 @@ impl Entry {
         Entry(((table.index() as u64) << TARGET_SHIFT) | flags.bits())
     }
 
+    /// Builds a swapped-out leaf entry: the page's content lives in
+    /// device block `block`, and `flags` records the pre-demotion flag
+    /// set so promotion can restore it (PRESENT removed, SWAPPED added).
+    pub fn swapped(block: u64, flags: EntryFlags) -> Entry {
+        let flags = flags
+            .union(EntryFlags::SWAPPED)
+            .without(EntryFlags::PRESENT)
+            .without(EntryFlags::TABLE);
+        Entry((block << TARGET_SHIFT) | flags.bits())
+    }
+
     /// Whether the entry maps anything.
     pub fn is_present(self) -> bool {
         self.flags().contains(EntryFlags::PRESENT)
+    }
+
+    /// Whether the entry is a swapped-out (non-present, on-device) page.
+    pub fn is_swapped(self) -> bool {
+        !self.is_present() && self.flags().contains(EntryFlags::SWAPPED)
+    }
+
+    /// The device block of a swapped entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not swapped.
+    pub fn swap_block(self) -> u64 {
+        assert!(self.is_swapped(), "entry is not swapped");
+        self.0 >> TARGET_SHIFT
+    }
+
+    /// The preserved pre-demotion flags of a swapped entry (SWAPPED
+    /// removed), ready to be handed back to [`Entry::page`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not swapped.
+    pub fn swap_flags(self) -> EntryFlags {
+        assert!(self.is_swapped(), "entry is not swapped");
+        self.flags().without(EntryFlags::SWAPPED)
     }
 
     /// Whether the entry points at a next-level table.
@@ -160,7 +205,14 @@ impl Entry {
 
 impl fmt::Debug for Entry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if !self.is_present() {
+        if self.is_swapped() {
+            write!(
+                f,
+                "Entry(swapped B#{} {:?})",
+                self.0 >> TARGET_SHIFT,
+                self.flags()
+            )
+        } else if !self.is_present() {
             write!(f, "Entry(empty)")
         } else if self.is_table() {
             write!(f, "Entry(table {:?})", (self.0 >> TARGET_SHIFT) as u32)
@@ -227,6 +279,24 @@ mod tests {
     #[should_panic(expected = "not a page mapping")]
     fn frame_of_table_entry_panics() {
         Entry::table(TableId::from_index(1)).frame();
+    }
+
+    #[test]
+    fn swapped_entry_round_trip() {
+        let orig = EntryFlags::WRITABLE | EntryFlags::USER | EntryFlags::DIRTY;
+        let e = Entry::swapped(9001, orig | EntryFlags::PRESENT);
+        assert!(e.is_swapped());
+        assert!(!e.is_present());
+        assert!(!e.is_page());
+        assert!(!e.is_table());
+        assert_eq!(e.swap_block(), 9001);
+        assert_eq!(e.swap_flags(), orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "not swapped")]
+    fn swap_block_of_page_entry_panics() {
+        Entry::page(FrameId::from_index(1), EntryFlags::USER).swap_block();
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum PageFault {
     /// Physical memory was exhausted while resolving the fault
     /// (demand-zero allocation, COW clone, or table split failed).
     OutOfMemory(VirtAddr),
+    /// The page is swapped out to the block device and no pager is
+    /// installed (or the device read failed).
+    SwappedOut(VirtAddr),
 }
 
 impl core::fmt::Display for PageFault {
@@ -37,6 +40,9 @@ impl core::fmt::Display for PageFault {
             PageFault::Unmapped(va) => write!(f, "unmapped access at {va:?}"),
             PageFault::ProtectionWrite(va) => write!(f, "write to read-only page at {va:?}"),
             PageFault::OutOfMemory(va) => write!(f, "out of memory resolving fault at {va:?}"),
+            PageFault::SwappedOut(va) => {
+                write!(f, "swapped-out page at {va:?} with no usable pager")
+            }
         }
     }
 }

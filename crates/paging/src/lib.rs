@@ -73,7 +73,7 @@ pub mod table;
 pub use entry::{Entry, EntryFlags};
 pub use fault::{AccessKind, PageFault};
 pub use ksm::{KsmScanner, KsmStats};
-pub use mmu::Mmu;
+pub use mmu::{Mmu, SwapPager};
 pub use space::{AddressSpace, Region, RegionKind};
 pub use stats::OpStats;
 pub use table::{TableId, TableStore};

@@ -9,7 +9,7 @@
 //! (`refcount > 1`) correct afterwards.
 
 use seuss_mem::addr::TABLE_ENTRIES;
-use seuss_mem::{FrameId, MemError, PhysMemory, VirtAddr, PAGE_SIZE};
+use seuss_mem::{FrameId, MemError, PageContent, PhysMemory, VirtAddr, PAGE_SIZE};
 use seuss_trace::{TraceEvent, Tracer};
 
 use crate::entry::{Entry, EntryFlags};
@@ -17,6 +17,16 @@ use crate::fault::{AccessKind, PageFault};
 use crate::space::AddressSpace;
 use crate::stats::OpStats;
 use crate::table::{TableId, TableStore};
+
+/// Services swap-in reads for swapped-out PTEs (see
+/// [`EntryFlags::SWAPPED`]). Installed on the [`Mmu`] by the storage
+/// tier; the MMU consults it whenever a touch lands on a swapped entry.
+pub trait SwapPager {
+    /// Reads device `block`, returning the page content and the virtual
+    /// nanoseconds the read cost. `None` means the block is unreadable
+    /// and the fault is unresolvable.
+    fn page_in(&mut self, block: u64) -> Option<(PageContent, u64)>;
+}
 
 /// The software MMU shared by every address space on a node.
 pub struct Mmu {
@@ -26,6 +36,9 @@ pub struct Mmu {
     pub stats: OpStats,
     /// Tracing handle (disabled by default; the node installs a live one).
     pub tracer: Tracer,
+    /// Swap-in backend for swapped-out entries (none by default: touching
+    /// a swapped page without a pager is an unresolvable fault).
+    pub pager: Option<Box<dyn SwapPager>>,
 }
 
 impl Default for Mmu {
@@ -41,6 +54,7 @@ impl Mmu {
             store: TableStore::new(),
             stats: OpStats::new(),
             tracer: Tracer::disabled(),
+            pager: None,
         }
     }
 
@@ -219,6 +233,21 @@ impl Mmu {
         }
     }
 
+    /// Walks the table chain to the L1 slot covering `va`, without
+    /// splitting or allocating. Returns the L1 table and slot index even
+    /// when the leaf entry is empty or swapped.
+    fn walk_l1(&self, root: TableId, va: VirtAddr) -> Option<(TableId, usize)> {
+        let mut cur = root;
+        for level in (2..=4).rev() {
+            let entry = self.store.node(cur).entries[va.table_index(level)];
+            if !entry.is_table() {
+                return None;
+            }
+            cur = entry.next_table();
+        }
+        Some((cur, va.table_index(1)))
+    }
+
     /// Resolves a read access (public for direct use by runtimes and tests).
     pub fn touch_read(
         &mut self,
@@ -226,9 +255,21 @@ impl Mmu {
         space: &mut AddressSpace,
         va: VirtAddr,
     ) -> Result<FrameId, PageFault> {
-        if let Some(entry) = self.translate(space.root(), va) {
-            self.stats.levels_walked += 3;
-            return Ok(entry.frame());
+        if let Some((l1, idx)) = self.walk_l1(space.root(), va) {
+            let entry = self.store.node(l1).entries[idx];
+            if entry.is_page() {
+                self.stats.levels_walked += 3;
+                // Hardware sets the accessed bit on every touch; model it
+                // in place (the harvest sweep is the consumer).
+                if !entry.flags().contains(EntryFlags::ACCESSED) {
+                    self.store.node_mut(l1).entries[idx] =
+                        entry.with_flags(entry.flags() | EntryFlags::ACCESSED);
+                }
+                return Ok(entry.frame());
+            }
+            if entry.is_swapped() {
+                return self.swap_in(mem, space, va, AccessKind::Read);
+            }
         }
         // Demand-zero read: materialize a zero frame (counts as private).
         let region = space
@@ -291,6 +332,8 @@ impl Mmu {
                 self.store.node_mut(l1).entries[idx] = entry.with_flags(new_flags);
                 frame
             }
+        } else if entry.is_swapped() {
+            return self.swap_in(mem, space, va, AccessKind::Write);
         } else {
             // Unmapped: demand-zero if the region allows it.
             let region = space
@@ -319,6 +362,162 @@ impl Mmu {
         };
         space.note_write(va);
         Ok(frame)
+    }
+
+    /// Faults a swapped-out page back in through the installed pager:
+    /// splits the path private to `space`, reads the device block, and
+    /// rewrites the entry as a present private frame with its preserved
+    /// pre-demotion flags. The device read's virtual cost accumulates in
+    /// [`OpStats::swap_in_nanos`] for the caller to attribute.
+    fn swap_in(
+        &mut self,
+        mem: &mut PhysMemory,
+        space: &mut AddressSpace,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<FrameId, PageFault> {
+        let root = space.root();
+        let l1 = self.exclusive_l1(mem, root, va).map_err(|_| self.oom(va))?;
+        let idx = va.table_index(1);
+        let entry = self.store.node(l1).entries[idx];
+        debug_assert!(entry.is_swapped(), "swap_in on a non-swapped entry");
+        let mut flags = entry.swap_flags();
+        if kind == AccessKind::Write
+            && !flags.contains(EntryFlags::WRITABLE)
+            && !flags.contains(EntryFlags::COW)
+        {
+            self.stats.hard_faults += 1;
+            return Err(PageFault::ProtectionWrite(va));
+        }
+        let paged = match self.pager.as_mut() {
+            Some(p) => p.page_in(entry.swap_block()),
+            None => None,
+        };
+        let Some((content, nanos)) = paged else {
+            self.stats.hard_faults += 1;
+            return Err(PageFault::SwappedOut(va));
+        };
+        let frame = mem
+            .alloc(seuss_mem::FrameKind::Data)
+            .map_err(|_| self.oom(va))?;
+        mem.set_content(frame, content);
+        flags = flags.union(EntryFlags::ACCESSED);
+        if kind == AccessKind::Write {
+            flags = flags
+                .without(EntryFlags::COW)
+                .union(EntryFlags::WRITABLE | EntryFlags::DIRTY);
+        }
+        self.store.node_mut(l1).entries[idx] = Entry::page(frame, flags);
+        self.stats.swap_ins += 1;
+        self.stats.swap_in_nanos += nanos;
+        self.tracer.event(TraceEvent::TierPageIn);
+        space.note_private_page();
+        if kind == AccessKind::Write {
+            space.note_write(va);
+        }
+        Ok(frame)
+    }
+
+    /// Demotes the mapped page at `va` under `root` to device block
+    /// `block`: the entry becomes a swapped placeholder preserving its
+    /// flags, the frame reference is dropped, and the page's content is
+    /// returned for the caller to persist. Splits shared tables on the
+    /// way down, so sharers (a resident ancestor snapshot, live UCs)
+    /// keep their present mappings untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not a present leaf mapping under `root`.
+    pub fn demote_page(
+        &mut self,
+        mem: &mut PhysMemory,
+        root: TableId,
+        va: VirtAddr,
+        block: u64,
+    ) -> Result<PageContent, MemError> {
+        let l1 = self.exclusive_l1(mem, root, va)?;
+        let idx = va.table_index(1);
+        let entry = self.store.node(l1).entries[idx];
+        assert!(entry.is_page(), "demote_page on a non-present entry");
+        let frame = entry.frame();
+        let content = mem.content_of(frame);
+        self.store.node_mut(l1).entries[idx] = Entry::swapped(block, entry.flags());
+        mem.dec_ref(frame);
+        Ok(content)
+    }
+
+    /// Promotes the swapped entry at `va` under `root` back to a present
+    /// mapping holding `content` in a fresh private frame, restoring the
+    /// preserved pre-demotion flags. Used by the eager and prefetch
+    /// restore policies (the lazy policy promotes through page faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry at `va` is not swapped.
+    pub fn promote_page(
+        &mut self,
+        mem: &mut PhysMemory,
+        root: TableId,
+        va: VirtAddr,
+        content: PageContent,
+    ) -> Result<FrameId, MemError> {
+        let l1 = self.exclusive_l1(mem, root, va)?;
+        let idx = va.table_index(1);
+        let entry = self.store.node(l1).entries[idx];
+        assert!(entry.is_swapped(), "promote_page on a non-swapped entry");
+        let frame = mem.alloc(seuss_mem::FrameKind::Data)?;
+        mem.set_content(frame, content);
+        self.store.node_mut(l1).entries[idx] = Entry::page(frame, entry.swap_flags());
+        Ok(frame)
+    }
+
+    /// Collects every swapped-out leaf reachable from `root` as
+    /// `(virtual page number, device block)` pairs in address order.
+    pub fn collect_swapped(&self, root: TableId) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(root, 0u64, 4u8)];
+        while let Some((id, base, level)) = stack.pop() {
+            for (i, entry) in self.store.node(id).entries.iter().enumerate() {
+                let vpn = base | ((i as u64) << (9 * (level as u64 - 1)));
+                if entry.is_table() {
+                    stack.push((entry.next_table(), vpn, level - 1));
+                } else if entry.is_swapped() {
+                    out.push((vpn, entry.swap_block()));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(vpn, _)| vpn);
+        out
+    }
+
+    /// Sweeps the accessed bits under `root`: returns the virtual page
+    /// numbers of every leaf mapping touched since the last sweep (in
+    /// address order) and clears their A bits in place. This is the
+    /// REAP-style working-set harvest — the bits the hardware model sets
+    /// on every touch, consumed here for the first time.
+    pub fn harvest_and_clear_accessed(&mut self, root: TableId) -> Vec<u64> {
+        let mut hits: Vec<(TableId, usize, u64)> = Vec::new();
+        let mut stack = vec![(root, 0u64, 4u8)];
+        while let Some((id, base, level)) = stack.pop() {
+            for i in 0..TABLE_ENTRIES {
+                let entry = self.store.node(id).entries[i];
+                let vpn = base | ((i as u64) << (9 * (level as u64 - 1)));
+                if entry.is_table() {
+                    stack.push((entry.next_table(), vpn, level - 1));
+                } else if entry.is_page() && entry.flags().contains(EntryFlags::ACCESSED) {
+                    hits.push((id, i, vpn));
+                }
+            }
+        }
+        let mut vpns: Vec<u64> = hits.iter().map(|&(_, _, vpn)| vpn).collect();
+        for (id, i, _) in hits {
+            let entry = self.store.node(id).entries[i];
+            self.store.node_mut(id).entries[i] =
+                entry.with_flags(entry.flags().without(EntryFlags::ACCESSED));
+        }
+        vpns.sort_unstable();
+        vpns.dedup();
+        vpns
     }
 
     fn oom(&mut self, va: VirtAddr) -> PageFault {

@@ -34,6 +34,10 @@ pub struct OpStats {
     pub dirty_scanned: u64,
     /// Unresolvable faults delivered.
     pub hard_faults: u64,
+    /// Swapped-out pages faulted back in from the block device.
+    pub swap_ins: u64,
+    /// Virtual nanoseconds spent on device reads servicing swap-ins.
+    pub swap_in_nanos: u64,
 }
 
 impl OpStats {
@@ -60,6 +64,8 @@ impl OpStats {
             tlb_flushes: self.tlb_flushes - earlier.tlb_flushes,
             dirty_scanned: self.dirty_scanned - earlier.dirty_scanned,
             hard_faults: self.hard_faults - earlier.hard_faults,
+            swap_ins: self.swap_ins - earlier.swap_ins,
+            swap_in_nanos: self.swap_in_nanos - earlier.swap_in_nanos,
         }
     }
 

@@ -1,0 +1,167 @@
+//! Property tests on the accessed-bit model (driven by `seuss-check`):
+//!
+//! 1. after any interleaving of reads and writes, one harvest sweep
+//!    returns exactly the set of touched pages — each touched page
+//!    appears exactly once, untouched pages never appear;
+//! 2. the sweep clears what it reports: an immediate second sweep is
+//!    empty, and pages the space touches *after* a sweep show up again
+//!    on the next one (A is set per touch-epoch, not latched forever);
+//! 3. harvesting one space never disturbs the accessed bits of a COW
+//!    sibling cloned from the same snapshot root.
+//!
+//! A failure prints a minimized touch-sequence and a `SEUSS_CHECK_SEED`
+//! value that replays it.
+
+use seuss_check::{check_with, ensure, ensure_eq, gen::Gen, Config};
+use seuss_mem::{PhysMemory, VirtAddr, PAGE_SIZE};
+use seuss_paging::{AddressSpace, Mmu, Region, RegionKind};
+use std::collections::BTreeSet;
+
+const BASE: u64 = 0x10_0000;
+const REGION_PAGES: u64 = 256;
+
+fn fresh_space(mmu: &mut Mmu, mem: &mut PhysMemory) -> AddressSpace {
+    let mut s = mmu.create_space(mem).expect("space");
+    s.add_region(Region {
+        start: VirtAddr::new(BASE),
+        pages: REGION_PAGES,
+        kind: RegionKind::Heap,
+        writable: true,
+        demand_zero: true,
+    });
+    s
+}
+
+fn va_of(p: u64) -> VirtAddr {
+    VirtAddr::new(BASE + p * PAGE_SIZE as u64)
+}
+
+fn vpn_of(p: u64) -> u64 {
+    (BASE + p * PAGE_SIZE as u64) >> seuss_mem::PAGE_SHIFT as u64
+}
+
+/// One touch: page index and whether it is a write.
+fn touches(max_len: usize) -> impl Gen<Value = Vec<(u64, bool)>> {
+    seuss_check::vecs(
+        (
+            seuss_check::range(0u64, REGION_PAGES - 1),
+            seuss_check::bools(),
+        ),
+        1,
+        max_len,
+    )
+}
+
+fn apply(mmu: &mut Mmu, mem: &mut PhysMemory, space: &mut AddressSpace, seq: &[(u64, bool)]) {
+    for &(p, write) in seq {
+        if write {
+            mmu.touch_write(mem, space, va_of(p)).expect("write");
+        } else {
+            mmu.touch_read(mem, space, va_of(p)).expect("read");
+        }
+    }
+}
+
+#[test]
+fn harvest_reports_exactly_the_touched_pages_once() {
+    check_with(
+        Config::with_cases(48),
+        "accessed_exactly_touched",
+        &touches(80),
+        |seq| {
+            let mut mem = PhysMemory::with_mib(64);
+            let mut mmu = Mmu::new();
+            let mut space = fresh_space(&mut mmu, &mut mem);
+            apply(&mut mmu, &mut mem, &mut space, seq);
+            let expected: BTreeSet<u64> = seq.iter().map(|&(p, _)| vpn_of(p)).collect();
+            let harvested = mmu.harvest_and_clear_accessed(space.root());
+            let unique: BTreeSet<u64> = harvested.iter().copied().collect();
+            ensure_eq!(
+                harvested.len(),
+                unique.len(),
+                "a page was reported more than once"
+            );
+            ensure_eq!(unique, expected, "harvest != touched set");
+            mmu.destroy_space(&mut mem, space);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sweep_clears_and_later_touches_reappear() {
+    check_with(
+        Config::with_cases(48),
+        "accessed_sweep_clears",
+        &(touches(40), touches(40)),
+        |(first, second)| {
+            let mut mem = PhysMemory::with_mib(64);
+            let mut mmu = Mmu::new();
+            let mut space = fresh_space(&mut mmu, &mut mem);
+            apply(&mut mmu, &mut mem, &mut space, first);
+            let _ = mmu.harvest_and_clear_accessed(space.root());
+            ensure!(
+                mmu.harvest_and_clear_accessed(space.root()).is_empty(),
+                "second sweep right after a harvest must be empty"
+            );
+            apply(&mut mmu, &mut mem, &mut space, second);
+            let expected: BTreeSet<u64> = second.iter().map(|&(p, _)| vpn_of(p)).collect();
+            let harvested: BTreeSet<u64> = mmu
+                .harvest_and_clear_accessed(space.root())
+                .into_iter()
+                .collect();
+            ensure_eq!(harvested, expected, "post-sweep touches must reappear");
+            mmu.destroy_space(&mut mem, space);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn harvest_of_one_space_leaves_a_cow_sibling_alone() {
+    check_with(
+        Config::with_cases(32),
+        "accessed_cow_sibling_isolated",
+        &(touches(40), touches(40)),
+        |(shared, private)| {
+            let mut mem = PhysMemory::with_mib(64);
+            let mut mmu = Mmu::new();
+            let mut a = fresh_space(&mut mmu, &mut mem);
+            // Touch through `a`, then clone it: the clone shares tables.
+            apply(&mut mmu, &mut mem, &mut a, shared);
+            let root_b = mmu.shallow_clone(&mut mem, a.root()).expect("clone");
+            let mut b = AddressSpace::from_root(root_b);
+            b.set_regions(a.regions().to_vec());
+            // Private writes through `b` split its paths away from `a`.
+            for &(p, _) in private.iter() {
+                mmu.touch_write(&mut mem, &mut b, va_of(p)).expect("write");
+            }
+            let b_set: BTreeSet<u64> = mmu
+                .harvest_and_clear_accessed(b.root())
+                .into_iter()
+                .collect();
+            let expected_b: BTreeSet<u64> = shared
+                .iter()
+                .map(|&(p, _)| vpn_of(p))
+                .chain(private.iter().map(|&(p, _)| vpn_of(p)))
+                .collect();
+            ensure_eq!(b_set, expected_b, "b harvests its full accessed view");
+            // Pages `b` split private before its harvest still carry A
+            // through `a`'s view; the harvest of `b` must not have
+            // reached into tables it no longer shares.
+            // The whole region lives in one L1 table, and `private` is
+            // never empty — so b's first write split that L1 private to
+            // b, and b's harvest ran entirely on b's own tables. a's
+            // original L1 must still carry every A bit it had.
+            let a_set: BTreeSet<u64> = mmu
+                .harvest_and_clear_accessed(a.root())
+                .into_iter()
+                .collect();
+            let expected_a: BTreeSet<u64> = shared.iter().map(|&(p, _)| vpn_of(p)).collect();
+            ensure_eq!(a_set, expected_a, "b's harvest disturbed a's A bits");
+            mmu.destroy_space(&mut mem, a);
+            mmu.destroy_space(&mut mem, b);
+            Ok(())
+        },
+    );
+}

@@ -683,6 +683,15 @@ impl Cluster {
                     node.corrupt_fn_snapshot(fn_id);
                 }
             }
+            FaultKind::DeviceReadError { span } => {
+                // Silent until a deploy needs the device: the node emits
+                // TierReadError when it degrades a tiered warm start.
+                if let Backend::Seuss { node, .. } = &mut self.backend {
+                    if node.set_device_read_fault(true) {
+                        sched.schedule_at(now + span, Ev::FaultEnd(i));
+                    }
+                }
+            }
         }
     }
 
@@ -714,6 +723,11 @@ impl Cluster {
                 }
             }
             FaultKind::SnapshotCorruption { .. } => {}
+            FaultKind::DeviceReadError { .. } => {
+                if let Backend::Seuss { node, .. } = &mut self.backend {
+                    node.set_device_read_fault(false);
+                }
+            }
         }
     }
 
@@ -733,7 +747,7 @@ fn path_to_served(p: PathKind, prior: ServedBy) -> ServedBy {
     }
     match p {
         PathKind::Cold => ServedBy::Cold,
-        PathKind::Warm => ServedBy::Warm,
+        PathKind::Warm | PathKind::WarmTier => ServedBy::Warm,
         PathKind::Hot => ServedBy::Hot,
     }
 }

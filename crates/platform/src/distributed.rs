@@ -208,7 +208,7 @@ impl DrSeussCluster {
         let dr_path = match (fetched, path) {
             (true, _) => DrPath::RemoteWarm,
             (false, PathKind::Hot) => DrPath::LocalHot,
-            (false, PathKind::Warm) => DrPath::LocalWarm,
+            (false, PathKind::Warm | PathKind::WarmTier) => DrPath::LocalWarm,
             (false, PathKind::Cold) => {
                 // First sighting cluster-wide: publish the new snapshot.
                 self.index.entry(f).or_default().push(at);

@@ -164,6 +164,12 @@ impl Snapshot {
         self.active_ucs
     }
 
+    /// Snapshots diffing against this one (a snapshot with children
+    /// cannot be deleted — or demoted to the storage tier).
+    pub fn children(&self) -> u32 {
+        self.children
+    }
+
     /// The capture-time integrity checksum.
     pub fn checksum(&self) -> u64 {
         self.checksum

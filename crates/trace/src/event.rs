@@ -92,12 +92,32 @@ pub enum TraceEvent {
     FaultFailover,
     /// The platform shed a request to a degraded path instead of erroring.
     FaultShed,
+    /// The MMU faulted a swapped-out page back in from the block device.
+    TierPageIn,
+    /// A snapshot's diff pages were demoted to the storage tier.
+    TierDemote {
+        /// Pages written to the device.
+        pages: u64,
+    },
+    /// A demoted snapshot was eagerly promoted back to DRAM in full.
+    TierPromote {
+        /// Pages read back from the device.
+        pages: u64,
+    },
+    /// A deploy batch-prefetched a recorded working set from the device.
+    TierPrefetch {
+        /// Pages in the prefetched working set.
+        pages: u64,
+    },
+    /// Injected: a device read failed; the snapshot degrades to cold.
+    TierReadError,
 }
 
 /// Number of distinct event kinds (counter-array size). Fault kinds are
-/// appended after the original 19 so fault-free metrics output stays
-/// byte-identical (the report emits only non-zero counters).
-pub(crate) const EVENT_KINDS: usize = 28;
+/// appended after the original 19, and storage-tier kinds after those,
+/// so fault-free / tier-free metrics output stays byte-identical (the
+/// report emits only non-zero counters).
+pub(crate) const EVENT_KINDS: usize = 33;
 
 impl TraceEvent {
     /// Lowercase kind name used in trace output and metrics.
@@ -135,6 +155,11 @@ impl TraceEvent {
             TraceEvent::FaultRetry => "fault:retry",
             TraceEvent::FaultFailover => "fault:failover",
             TraceEvent::FaultShed => "fault:shed",
+            TraceEvent::TierPageIn => "tier:page_in",
+            TraceEvent::TierDemote { .. } => "tier:demote",
+            TraceEvent::TierPromote { .. } => "tier:promote",
+            TraceEvent::TierPrefetch { .. } => "tier:prefetch",
+            TraceEvent::TierReadError => "tier:read_error",
         }
     }
 
@@ -163,6 +188,11 @@ impl TraceEvent {
             TraceEvent::FaultRetry => 25,
             TraceEvent::FaultFailover => 26,
             TraceEvent::FaultShed => 27,
+            TraceEvent::TierPageIn => 28,
+            TraceEvent::TierDemote { .. } => 29,
+            TraceEvent::TierPromote { .. } => 30,
+            TraceEvent::TierPrefetch { .. } => 31,
+            TraceEvent::TierReadError => 32,
         }
     }
 
@@ -172,6 +202,9 @@ impl TraceEvent {
             TraceEvent::SnapshotCapture { dirty_pages } => Some(*dirty_pages),
             TraceEvent::FramesCopied { frames } => Some(*frames),
             TraceEvent::FaultMemPressure { frames } => Some(*frames),
+            TraceEvent::TierDemote { pages } => Some(*pages),
+            TraceEvent::TierPromote { pages } => Some(*pages),
+            TraceEvent::TierPrefetch { pages } => Some(*pages),
             _ => None,
         }
     }

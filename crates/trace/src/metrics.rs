@@ -36,6 +36,11 @@ const KIND_NAMES: [&str; EVENT_KINDS] = [
     "fault:retry",
     "fault:failover",
     "fault:shed",
+    "tier:page_in",
+    "tier:demote",
+    "tier:promote",
+    "tier:prefetch",
+    "tier:read_error",
 ];
 
 /// Aggregated metric state inside a tracer buffer.
@@ -375,6 +380,11 @@ mod tests {
             TraceEvent::FaultRetry,
             TraceEvent::FaultFailover,
             TraceEvent::FaultShed,
+            TraceEvent::TierPageIn,
+            TraceEvent::TierDemote { pages: 1 },
+            TraceEvent::TierPromote { pages: 1 },
+            TraceEvent::TierPrefetch { pages: 1 },
+            TraceEvent::TierReadError,
         ];
         assert_eq!(all.len(), EVENT_KINDS, "a variant is missing here");
         for (i, ev) in all.iter().enumerate() {

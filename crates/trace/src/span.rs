@@ -14,11 +14,20 @@ pub enum PathKind {
     Warm,
     /// Idle UC cached: run in place.
     Hot,
+    /// Function snapshot cached but demoted to the storage tier:
+    /// deploy + tier restore + run. Appended after the original three so
+    /// tier-free metrics output stays byte-identical.
+    WarmTier,
 }
 
 impl PathKind {
-    /// All paths, in cold→hot order.
-    pub const ALL: [PathKind; 3] = [PathKind::Cold, PathKind::Warm, PathKind::Hot];
+    /// All paths, in cold→hot order (the tiered warm path appended).
+    pub const ALL: [PathKind; 4] = [
+        PathKind::Cold,
+        PathKind::Warm,
+        PathKind::Hot,
+        PathKind::WarmTier,
+    ];
 
     /// Lowercase name used in trace output.
     pub fn as_str(self) -> &'static str {
@@ -26,6 +35,7 @@ impl PathKind {
             PathKind::Cold => "cold",
             PathKind::Warm => "warm",
             PathKind::Hot => "hot",
+            PathKind::WarmTier => "warm_tier",
         }
     }
 
@@ -35,6 +45,7 @@ impl PathKind {
             PathKind::Cold => 0,
             PathKind::Warm => 1,
             PathKind::Hot => 2,
+            PathKind::WarmTier => 3,
         }
     }
 }
@@ -46,6 +57,10 @@ impl PathKind {
 pub enum Phase {
     /// UC construction (shallow clone, kmeta, resume writes, fixed part).
     Deploy,
+    /// Storage-tier restore work (eager promotion or working-set
+    /// prefetch) for a deploy from a demoted snapshot. Zero — and its
+    /// span never opened — on untiered paths.
+    Restore,
     /// Connection setup into the UC (plus any first-use warming).
     Connect,
     /// Code import + compile.
@@ -60,8 +75,9 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in segment order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Deploy,
+        Phase::Restore,
         Phase::Connect,
         Phase::Import,
         Phase::Capture,
@@ -76,6 +92,7 @@ impl Phase {
     pub fn as_str(self) -> &'static str {
         match self {
             Phase::Deploy => "deploy",
+            Phase::Restore => "restore",
             Phase::Connect => "connect",
             Phase::Import => "import",
             Phase::Capture => "capture",
@@ -88,11 +105,12 @@ impl Phase {
     pub const fn index(self) -> usize {
         match self {
             Phase::Deploy => 0,
-            Phase::Connect => 1,
-            Phase::Import => 2,
-            Phase::Capture => 3,
-            Phase::Exec => 4,
-            Phase::Respond => 5,
+            Phase::Restore => 1,
+            Phase::Connect => 2,
+            Phase::Import => 3,
+            Phase::Capture => 4,
+            Phase::Exec => 5,
+            Phase::Respond => 6,
         }
     }
 }
@@ -134,6 +152,7 @@ impl SpanName {
             SpanName::Resume => "resume",
             SpanName::Dispatch => "dispatch",
             SpanName::Phase(Phase::Deploy) => "phase:deploy",
+            SpanName::Phase(Phase::Restore) => "phase:restore",
             SpanName::Phase(Phase::Connect) => "phase:connect",
             SpanName::Phase(Phase::Import) => "phase:import",
             SpanName::Phase(Phase::Capture) => "phase:capture",

@@ -171,6 +171,22 @@ impl ImageStore {
         snaps: &mut SnapshotStore,
         id: UcImageId,
     ) -> Result<(UcContext, SimDuration), UcError> {
+        self.deploy_prepared(mmu, mem, snaps, id, |_, _, _| Ok(()))
+    }
+
+    /// [`ImageStore::deploy`] with a preparation hook that runs on the
+    /// fresh UC root *after* the shallow clone but *before* the driver's
+    /// resume writes — the window where a storage tier prefetches a
+    /// demoted snapshot's working set into the UC's private tables. A
+    /// hook error unwinds the half-built UC.
+    pub fn deploy_prepared(
+        &mut self,
+        mmu: &mut Mmu,
+        mem: &mut PhysMemory,
+        snaps: &mut SnapshotStore,
+        id: UcImageId,
+        prepare: impl FnOnce(&mut Mmu, &mut PhysMemory, seuss_paging::TableId) -> Result<(), UcError>,
+    ) -> Result<(UcContext, SimDuration), UcError> {
         let (snap_id, interp, net_warmed, driver_warmed, main_prog, layout, profile) = {
             let img = self.image(id)?;
             (
@@ -188,6 +204,11 @@ impl ImageStore {
             SnapshotError::OutOfMemory => UcError::Mem(seuss_mem::MemError::OutOfFrames),
             other => UcError::Script(other.to_string()),
         })?;
+        if let Err(e) = prepare(mmu, mem, space.root()) {
+            mmu.release_root(mem, space.root());
+            let _ = snaps.release_uc(snap_id);
+            return Err(e);
+        }
         let kmeta = match mem.alloc_many(FrameKind::KernelMeta, profile.kmeta_pages) {
             Ok(k) => k,
             Err(e) => {

@@ -70,6 +70,7 @@ pub use seuss_net as net;
 pub use seuss_paging as paging;
 pub use seuss_platform as platform;
 pub use seuss_snapshot as snapshot;
+pub use seuss_store as store;
 pub use seuss_trace as trace;
 pub use seuss_unikernel as unikernel;
 pub use seuss_workload as workload;
